@@ -1,0 +1,11 @@
+"""Pytest fixtures for the benchmark suite."""
+
+import pytest
+
+from _bench_common import PAPER
+
+
+@pytest.fixture
+def paper():
+    """Accessor for paper-reported reference numbers used in asserts."""
+    return PAPER

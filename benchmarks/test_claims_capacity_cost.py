@@ -1,0 +1,81 @@
+"""Headline claims (S1/S5): bandwidth, capacity and cost utilization.
+
+* "SDF can deliver approximately 95% of the raw flash bandwidth" --
+  measured write throughput vs the raw write bandwidth (reads are
+  PCIe-limited below raw, exactly as in the paper).
+* "provide 99% of the flash capacity for user data" vs the commodity
+  50-70%.
+* "increases I/O bandwidth by 300%" vs the commodity-SSD-based system
+  (which realized ~50% of raw, S1).
+* "reduces per-GB hardware cost by 50% on average" (20-50% depending on
+  the over-provisioning displaced).
+"""
+
+from _bench_common import emit, run_once
+
+from repro.analysis import (
+    commodity_capacity,
+    sdf_capacity,
+    sdf_raw_bandwidths,
+)
+from repro.analysis.cost import cost_reduction_vs_commodity
+from repro.devices import build_sdf
+from repro.sim import MS, Simulator
+from repro.workloads import drive_sdf_writes
+
+
+def test_claims_capacity_cost(benchmark, paper):
+    def run():
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=0.004)
+        drive_sdf_writes(sim, sdf, duration_ns=900 * MS, warmup_ns=150 * MS)
+        write_gb_s = sdf.link.write_meter.mb_per_s(150 * MS, 900 * MS) / 1000
+        # Capacity utilization is quantized by block count, so measure
+        # it on a full-geometry (704 GB) device: 2027/2048 blocks ~ 99%.
+        full = build_sdf(Simulator(), capacity_scale=1.0)
+        return write_gb_s, full.capacity_utilization
+
+    write_gb_s, utilization = run_once(benchmark, run)
+    raw_read, raw_write = sdf_raw_bandwidths()
+    bandwidth_fraction = write_gb_s * 1000 / raw_write
+    sdf_user = sdf_capacity().user_fraction
+    commodity_low = commodity_capacity(op_ratio=0.40).user_fraction
+    commodity_high = commodity_capacity(op_ratio=0.25).user_fraction
+    saving_avg = cost_reduction_vs_commodity(
+        sdf_capacity(), commodity_capacity(op_ratio=0.40)
+    )
+    saving_low = cost_reduction_vs_commodity(
+        sdf_capacity(), commodity_capacity(op_ratio=0.10)
+    )
+    # The "300%" claim: commodity systems realized ~50% of raw bandwidth
+    # in production (S1); SDF realizes ~95%+ *and* exposes channels so
+    # the realized:realized ratio on the paper's workloads is ~3-4x
+    # (Figure 13: 1.5 GB/s vs ~0.5 GB/s).  Here we report the
+    # device-level fraction.
+    rows = [
+        ["raw write bandwidth (MB/s)", raw_write],
+        ["measured sustained write (MB/s)", write_gb_s * 1000],
+        ["fraction of raw delivered", bandwidth_fraction],
+        ["SDF user capacity fraction", utilization],
+        ["commodity user fraction (40% OP)", commodity_low],
+        ["commodity user fraction (25% OP)", commodity_high],
+        ["per-GB cost saving vs 40% OP", saving_avg],
+        ["per-GB cost saving vs 10% OP", saving_low],
+    ]
+    emit(
+        benchmark,
+        "Headline claims: bandwidth/capacity/cost utilization",
+        ["quantity", "value"],
+        rows,
+    )
+    # ~95% of raw bandwidth delivered (paper's claim; our DMA meter may
+    # lead the flash programs slightly).
+    assert bandwidth_fraction > 0.90
+    # 99% capacity for user data vs 50-70% commodity.
+    assert utilization >= 0.975
+    assert sdf_user >= 0.985
+    assert 0.50 <= commodity_low <= 0.60
+    assert 0.60 <= commodity_high <= 0.70
+    # Cost: ~50% against heavy over-provisioning, 20%+ against light.
+    assert 0.40 <= saving_avg <= 0.60
+    assert saving_low >= 0.18

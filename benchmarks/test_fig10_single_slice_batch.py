@@ -1,0 +1,69 @@
+"""Figure 10: one slice, random 512 KB KV reads, batch size 1..44.
+
+Paper: with a single slice the Gen3 wins at small batch sizes (245 MB/s
+at batch 1 vs SDF's 38 MB/s: striping parallelizes even one request),
+and SDF only catches up once the batch size approaches 32-44 so
+different sub-requests land on different channels.
+
+Our reproduction nails both batch-1 endpoints (SDF ~37, Gen3 ~250-300
+MB/s) and SDF's steady ramp, but SDF's batch-44 point reaches ~40-50%
+of the Gen3 rather than parity: with 44 random sub-requests over 44
+channels, the maximally-loaded channel serves ~4 of them serially --
+the very imbalance the paper itself flags ("the random requests cannot
+be evenly distributed over the channels when the request count is only
+slightly larger than the channel count").  The decisive SDF win appears
+at higher concurrency (Figures 11-13).  See EXPERIMENTS.md.
+"""
+
+from _bench_common import emit, measure_kv_reads, run_once
+
+from repro.sim import KIB, MS
+
+BATCH_SIZES = [1, 4, 8, 16, 32, 44]
+VALUE_BYTES = 512 * KIB
+
+
+def test_fig10_single_slice_batch(benchmark):
+    def run():
+        out = {}
+        for kind in ("sdf", "gen3"):
+            for batch in BATCH_SIZES:
+                duration = 250 * MS if batch <= 8 else 400 * MS
+                out[(kind, batch)] = measure_kv_reads(
+                    kind,
+                    n_slices=1,
+                    batch_size=batch,
+                    value_bytes=VALUE_BYTES,
+                    duration_ns=duration,
+                )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [batch, results[("sdf", batch)], results[("gen3", batch)]]
+        for batch in BATCH_SIZES
+    ]
+    emit(
+        benchmark,
+        "Figure 10: 1 slice, random 512 KB reads (MB/s) vs batch size",
+        ["batch", "SDF", "Gen3"],
+        rows,
+    )
+    sdf = {b: results[("sdf", b)] for b in BATCH_SIZES}
+    gen3 = {b: results[("gen3", b)] for b in BATCH_SIZES}
+    # Batch 1: Gen3 far ahead (paper: 245 vs 38 MB/s).
+    assert gen3[1] > 3 * sdf[1]
+    assert 20 <= sdf[1] <= 60
+    assert 150 <= gen3[1] <= 500
+    # SDF throughput rises steadily with batch size (allowing for
+    # channel-collision noise between adjacent large batch sizes) ...
+    assert sdf[44] > 7 * sdf[1]
+    for small, large in zip(BATCH_SIZES, BATCH_SIZES[1:]):
+        assert sdf[large] > sdf[small] * 0.85, (small, large)
+    assert sdf[44] >= sdf[16]
+    # ... closing most of the gap to the Gen3 by batch 44 (residual
+    # shortfall = channel-load imbalance; see module docstring).
+    assert sdf[44] >= 0.28 * gen3[44]
+    # Gen3 is batch-insensitive by comparison (its parallelism is
+    # per-request, not per-batch): < 5x total growth across the sweep.
+    assert gen3[44] < 5 * gen3[1]

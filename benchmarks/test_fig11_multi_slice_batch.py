@@ -1,0 +1,67 @@
+"""Figure 11: 4 and 8 slices, random 512 KB KV reads vs batch size.
+
+Paper: with more slices SDF's exposed channels fill up -- at 8 slices x
+batch 4 throughput already reaches ~1.1 GB/s, and with large batches it
+approaches ~1.5 GB/s.  The Gen3 peaks around 700 MB/s and *stops
+scaling* (its 4- and 8-slice curves coincide; extra concurrency can
+even hurt slightly).
+"""
+
+from _bench_common import emit, measure_kv_reads, run_once
+
+from repro.sim import KIB, MS
+
+BATCH_SIZES = [1, 4, 16, 44]
+SLICE_COUNTS = [4, 8]
+VALUE_BYTES = 512 * KIB
+
+
+def test_fig11_multi_slice_batch(benchmark):
+    def run():
+        out = {}
+        for kind in ("sdf", "gen3"):
+            for n_slices in SLICE_COUNTS:
+                for batch in BATCH_SIZES:
+                    out[(kind, n_slices, batch)] = measure_kv_reads(
+                        kind,
+                        n_slices=n_slices,
+                        batch_size=batch,
+                        value_bytes=VALUE_BYTES,
+                        duration_ns=150 * MS,
+                    )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [batch]
+        + [results[(kind, n, batch)] for kind in ("sdf", "gen3")
+           for n in SLICE_COUNTS]
+        for batch in BATCH_SIZES
+    ]
+    emit(
+        benchmark,
+        "Figure 11: random 512 KB reads (MB/s) vs batch size",
+        ["batch", "SDF 4sl", "SDF 8sl", "Gen3 4sl", "Gen3 8sl"],
+        rows,
+    )
+    # SDF scales with batch size at both slice counts ...
+    for n_slices in SLICE_COUNTS:
+        assert (
+            results[("sdf", n_slices, 44)]
+            > 2.5 * results[("sdf", n_slices, 1)]
+        )
+    # ... reaching the GB/s regime at 8 slices x large batch.
+    assert results[("sdf", 8, 44)] > 1000
+    # More slices help SDF at moderate batch sizes (8sl > 4sl).
+    assert results[("sdf", 8, 4)] > results[("sdf", 4, 4)]
+    # Gen3 stops scaling -- and, as in the paper, heavy concurrency
+    # actively hurts it ("the throughput actually decreases slightly
+    # with higher concurrency"; our congestion model reproduces the
+    # decrease from its mid-concurrency peak).
+    assert results[("gen3", 8, 44)] < results[("gen3", 8, 4)]
+    for batch in (16, 44):
+        four = results[("gen3", 4, batch)]
+        eight = results[("gen3", 8, batch)]
+        assert abs(eight - four) / max(four, eight) < 0.40, batch
+    # The headline crossover: SDF clearly beats Gen3 at high concurrency.
+    assert results[("sdf", 8, 44)] > 1.5 * results[("gen3", 8, 44)]

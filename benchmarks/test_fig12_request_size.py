@@ -1,0 +1,80 @@
+"""Figure 12: request size (32/128/512 KB) x slice count at batch 44.
+
+Paper: these sizes are web pages, thumbnails and images.  As long as
+requests are served in parallel at different channels, SDF turns small
+and large requests alike into high throughput (large ones moderately
+higher); only the 1-slice case is as slow as the Gen3.  The Gen3 is
+insensitive to slice count throughout.
+
+Our divergence: the paper's Gen3 is device-bound at every size, so its
+bars stay flat; our Gen3 model is bound by per-slice request handling
+at the two smaller sizes and therefore gains from extra slices there.
+The SDF-vs-Gen3 comparison at 8 slices -- the figure's point -- is
+preserved at every size.
+"""
+
+from _bench_common import emit, measure_kv_reads, run_once
+
+from repro.sim import MS
+from repro.workloads import FIG12_REQUEST_SIZES
+
+SLICE_COUNTS = [1, 8]
+BATCH = 44
+
+
+def test_fig12_request_size(benchmark):
+    def run():
+        out = {}
+        for kind in ("sdf", "gen3"):
+            for label, nbytes in FIG12_REQUEST_SIZES.items():
+                for n_slices in SLICE_COUNTS:
+                    out[(kind, label, n_slices)] = measure_kv_reads(
+                        kind,
+                        n_slices=n_slices,
+                        batch_size=BATCH,
+                        value_bytes=nbytes,
+                        duration_ns=150 * MS,
+                        keys_per_slice=192 if nbytes < 100_000 else 96,
+                    )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = []
+    for kind in ("sdf", "gen3"):
+        for n_slices in SLICE_COUNTS:
+            rows.append(
+                [f"{kind}-{n_slices}sl"]
+                + [
+                    results[(kind, label, n_slices)]
+                    for label in FIG12_REQUEST_SIZES
+                ]
+            )
+    emit(
+        benchmark,
+        "Figure 12: throughput (MB/s), batch 44, by request size",
+        ["config"] + [f"{label}" for label in FIG12_REQUEST_SIZES],
+        rows,
+    )
+    for label in FIG12_REQUEST_SIZES:
+        # SDF scales strongly from 1 to 8 slices at every size.
+        assert (
+            results[("sdf", label, 8)] > 2.5 * results[("sdf", label, 1)]
+        ), label
+        # At 8 slices SDF matches or beats Gen3 at every request size
+        # (strictly beats it at the image size, where channel bandwidth
+        # rather than per-request handling dominates).
+        assert (
+            results[("sdf", label, 8)] >= 0.85 * results[("gen3", label, 8)]
+        ), label
+    assert results[("sdf", "image", 8)] > results[("gen3", "image", 8)]
+    # Gen3 is device-bound (slice-insensitive) at the large image size;
+    # at smaller sizes our Gen3 model is bound by per-slice request
+    # handling and scales somewhat with slices, unlike the paper's
+    # device-bound flat bars -- see the module docstring.
+    gen_1 = results[("gen3", "image", 1)]
+    gen_8 = results[("gen3", "image", 8)]
+    assert abs(gen_8 - gen_1) / max(gen_1, gen_8) < 0.45
+    # Larger requests give SDF moderately higher throughput.
+    assert (
+        results[("sdf", "image", 8)] >= results[("sdf", "web-page", 8)]
+    )

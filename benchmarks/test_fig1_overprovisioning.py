@@ -1,0 +1,95 @@
+"""Figure 1: random-write throughput vs over-provisioning ratio.
+
+Paper (Intel 320, random 4 KB writes): ~2 MB/s at 0% OP, rising steeply
+to 7%, +21% from 7% to 25%, and a further modest gain at 50%; 25% OP
+delivers "more than 400%" of the 0% throughput.
+
+We build an Intel-320-class device with 4 KiB logical pages, drive it to
+write-amplification steady state functionally, then measure sustained
+timed 4 KB random writes.  The throughput curve is produced by the
+garbage collector: lower OP -> higher write amplification -> fewer user
+writes per unit of flash program bandwidth.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from _bench_common import emit, run_once
+
+from repro.devices import INTEL_320_SPEC, build_conventional
+from repro.nand.geometry import FlashGeometry
+from repro.sim import MS, Simulator
+from repro.workloads.generators import drive_conventional_writes
+
+#: The paper's x axis.  "0%" means no *additional* over-provisioning:
+#: the drive still keeps its small intrinsic reserve (~4% here), without
+#: which a page-mapped FTL cannot operate at all.
+OP_POINTS = [("0%", 0.04), ("7%", 0.07), ("25%", 0.25), ("50%", 0.50)]
+
+#: 4 KB logical pages for the 4 KB-write experiment.  Blocks are scaled
+#: down (64 pages) and planes hold many of them (96), so that even the
+#: "0%" point's sliver of spare space dwarfs the per-plane append
+#: frontiers -- as it does at real scale (2048 blocks per plane).
+SMALL_PAGE_GEOMETRY = FlashGeometry(
+    page_size=4096,
+    pages_per_block=64,
+    blocks_per_plane=64,
+    planes_per_chip=2,
+)
+
+
+def measure_op_point(op_ratio: float) -> float:
+    sim = Simulator()
+    spec = replace(
+        INTEL_320_SPEC,
+        geometry=SMALL_PAGE_GEOMETRY,
+        n_channels=2,
+        op_ratio=op_ratio,
+        parity_group_size=None,
+        dram_buffer_bytes=1 << 20,
+        # The 320's sustained 4 KB random-write ceiling (~3k IOPS): the
+        # per-op FTL/controller cost that flattens the curve at high OP.
+        controller_write_ns_per_page=350_000,
+    )
+    device = build_conventional(sim, spec)
+    device.prefill(1.0)
+    # Functional churn to write-amplification steady state.
+    rng = np.random.default_rng(17)
+    for _ in range(3 * device.user_pages // 2):
+        device.ftl.write(int(rng.integers(device.user_pages)), None)
+    return drive_conventional_writes(
+        sim,
+        device,
+        request_bytes=4096,
+        duration_ns=400 * MS,
+        queue_depth=8,
+        sequential=False,
+        warmup_ns=50 * MS,
+        rng=np.random.default_rng(3),
+    )
+
+
+def test_fig1_overprovisioning_sweep(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {label: measure_op_point(ratio) for label, ratio in OP_POINTS},
+    )
+    rows = [[label, results[label]] for label, _ in OP_POINTS]
+    emit(
+        benchmark,
+        "Figure 1: random 4 KB write throughput vs over-provisioning (MB/s)",
+        ["OP ratio", "throughput MB/s"],
+        rows,
+    )
+    t0, t7, t25, t50 = (results[label] for label, _ in OP_POINTS)
+    # Monotonically increasing with OP.
+    assert t0 < t7 < t25 <= t50 * 1.05
+    # 25% OP beats 0% by several x (paper: "more than 400%").
+    assert t25 > 3.0 * t0
+    # 25% OP still improves on 7% (paper: ~21%; our GC model is
+    # somewhat steeper between these points).
+    assert t25 / t7 >= 1.1
+    # Diminishing returns: each OP increase buys less than the last.
+    assert t50 / t25 < t25 / t7
+    assert t50 / t25 < 2.0

@@ -1,0 +1,85 @@
+"""Figure 7: SDF throughput vs number of active channels.
+
+Paper: with one thread per active channel issuing sequential 8 MB
+requests, throughput grows almost linearly in channel count until the
+PCIe limit (reads, ~1.59 GB/s) or the flash raw write bandwidth
+(writes, ~0.96 GB/s) is reached.
+"""
+
+import numpy as np
+
+from _bench_common import emit, run_once
+
+from repro.devices import build_sdf
+from repro.sim import MIB, MS, Simulator
+from repro.workloads import drive_sdf_reads, drive_sdf_writes
+
+READ_POINTS = [4, 8, 16, 24, 32, 40, 44]
+WRITE_POINTS = [4, 16, 32, 44]
+
+
+def read_throughput(n_channels: int) -> float:
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf.prefill(1.0)
+    drive_sdf_reads(
+        sim,
+        sdf,
+        request_bytes=2 * MIB,  # same bus-bound regime as 8 MB requests
+        duration_ns=400 * MS,
+        channels=range(n_channels),
+        sequential=True,
+        rng=np.random.default_rng(0),
+        warmup_ns=60 * MS,
+    )
+    # Meter the page-granular DMA stream: request completions quantize
+    # too coarsely near the PCIe saturation point.
+    return sdf.link.read_meter.mb_per_s(60 * MS, 400 * MS)
+
+
+def write_throughput(n_channels: int) -> float:
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004)
+    drive_sdf_writes(
+        sim,
+        sdf,
+        duration_ns=1100 * MS,
+        channels=range(n_channels),
+        warmup_ns=360 * MS,
+    )
+    return sdf.link.write_meter.mb_per_s(360 * MS, 1100 * MS)
+
+
+def test_fig7_channel_scaling(benchmark, paper):
+    def run():
+        return (
+            {n: read_throughput(n) for n in READ_POINTS},
+            {n: write_throughput(n) for n in WRITE_POINTS},
+        )
+
+    reads, writes = run_once(benchmark, run)
+    rows = [
+        [n, reads.get(n, ""), writes.get(n, "")]
+        for n in sorted(set(READ_POINTS) | set(WRITE_POINTS))
+    ]
+    emit(
+        benchmark,
+        "Figure 7: SDF throughput (MB/s) vs active channel count",
+        ["channels", "seq read MB/s", "seq write MB/s"],
+        rows,
+    )
+    # Reads: linear at ~38-40 MB/s per channel until the PCIe ceiling.
+    per_channel = reads[4] / 4
+    assert 33 <= per_channel <= 43
+    for n in (8, 16, 24):
+        assert reads[n] / (n * per_channel) > 0.9, n
+    # Saturation: 44 channels pinned at the PCIe effective read limit.
+    assert reads[44] >= 0.93 * paper.PCIE_READ * 1000
+    assert reads[44] <= 1.02 * paper.PCIE_READ * 1000
+    # Writes: linear at ~22-24 MB/s per channel all the way to 44
+    # (the flash, not the link, is the write bottleneck).
+    write_per_channel = writes[4] / 4
+    assert 20 <= write_per_channel <= 25
+    for n in WRITE_POINTS[1:]:
+        assert writes[n] / (n * write_per_channel) > 0.9, n
+    assert writes[44] >= 0.85 * paper.SDF_RAW_WRITE * 1000

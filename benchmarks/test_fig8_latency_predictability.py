@@ -1,0 +1,117 @@
+"""Figure 8: write-latency predictability on nearly-full devices.
+
+Paper: the Huawei Gen3 serving 8 MB writes shows latencies swinging
+between 7 ms and 650 ms (average 73 ms) as garbage collection and the
+DRAM buffer interact; with 352 MB requests the variance drops to ~25% of
+the (2.94 s) average.  SDF's erase+write sequence costs a flat ~383 ms
+with "little variation".
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from _bench_common import emit, run_once
+
+from repro.devices import HUAWEI_GEN3_SPEC, ConventionalSSD, build_sdf
+from repro.sim import MIB, MS, Simulator
+
+
+def gen3_write_latencies(request_mb: int, n_requests: int):
+    """Sustained writes against a nearly-full, GC-active Gen3."""
+    sim = Simulator()
+    spec = replace(
+        HUAWEI_GEN3_SPEC.scaled(0.006),
+        dram_buffer_bytes=48 << 20,  # scaled with device capacity
+        parity_group_size=None,
+        n_channels=8,
+    )
+    device = ConventionalSSD(sim, spec)
+    device.prefill(1.0)
+    rng = np.random.default_rng(5)
+    # Drive the FTL to its GC threshold so the timed writes all contend.
+    while max(
+        device.ftl.free_blocks(c) for c in range(spec.n_channels)
+    ) > device.ftl.gc_free_blocks + 2:
+        device.ftl.write(int(rng.integers(device.user_pages)), None)
+
+    pages = request_mb * MIB // device.page_size
+
+    def writer():
+        for index in range(n_requests):
+            start = int(rng.integers(device.user_pages - pages))
+            yield from device.write(start, pages)
+
+    sim.run(until=sim.process(writer()))
+    return device.stats.write_latency
+
+
+def sdf_write_latencies(n_requests: int):
+    """Erase+write cycles on a full SDF, spread over its channels.
+
+    The paper's Figure 8 latency *includes* the explicit erase performed
+    immediately before each write, so we time the whole cycle.
+    """
+    from repro.sim.stats import LatencyRecorder
+
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=8)
+    sdf.prefill(1.0)
+    recorder = LatencyRecorder("sdf.erase+write")
+
+    def writer(channel):
+        for block in range(n_requests // 8):
+            start = sim.now
+            yield from channel.write_fresh(block % channel.n_logical_blocks)
+            recorder.record(sim.now - start)
+
+    procs = [sim.process(writer(channel)) for channel in sdf.channels]
+    sim.run(until=sim.all_of(procs))
+    return recorder
+
+
+def test_fig8_latency_predictability(benchmark, paper):
+    def run():
+        return (
+            gen3_write_latencies(8, 48),
+            gen3_write_latencies(88, 6),  # scaled stand-in for 352 MB
+            sdf_write_latencies(48),
+        )
+
+    gen3_8mb, gen3_large, sdf = run_once(benchmark, run)
+    rows = [
+        [
+            name,
+            rec.mean / 1e6,
+            rec.minimum / 1e6,
+            rec.maximum / 1e6,
+            rec.coefficient_of_variation,
+        ]
+        for name, rec in [
+            ("gen3 8MB", gen3_8mb),
+            ("gen3 88MB (352MB-style)", gen3_large),
+            ("sdf 8MB erase+write", sdf),
+        ]
+    ]
+    emit(
+        benchmark,
+        "Figure 8: write latency (ms): mean/min/max and CoV",
+        ["workload", "mean", "min", "max", "CoV"],
+        rows,
+    )
+    # Gen3 8 MB: wildly variable (paper: 7-650 ms; CoV >~ 1).
+    assert gen3_8mb.maximum > 4 * gen3_8mb.minimum
+    assert gen3_8mb.coefficient_of_variation > 0.4
+    # Whole-device-width requests smooth the variance out.
+    assert (
+        gen3_large.coefficient_of_variation
+        < gen3_8mb.coefficient_of_variation / 1.3
+    )
+    # SDF: flat ~383 ms erase+write with tiny variation.
+    assert sdf.coefficient_of_variation < 0.02
+    assert 0.85 * paper.FIG8["sdf_avg"] <= sdf.mean / 1e6 <= 1.15 * paper.FIG8[
+        "sdf_avg"
+    ]
+    # And the SDF mean is *predictable*, not necessarily small: the Gen3
+    # buffer often acks faster, but with 10-100x spread.
+    assert sdf.maximum - sdf.minimum < 0.1 * sdf.mean

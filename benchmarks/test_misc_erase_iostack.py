@@ -1,0 +1,75 @@
+"""Secondary numbers from S2.3/S2.4/S3.2:
+
+* block erase costs ~3 ms; the erase *command* can sustain tens of GB/s
+  of logical throughput (paper: ~40 GB/s);
+* SDF's software stack costs 2-4 us per request vs ~12.9 us through the
+  kernel;
+* SDF's MSI merging cuts the interrupt rate to 1/5-1/4 of IOPS.
+"""
+
+import numpy as np
+
+from _bench_common import emit, run_once
+
+from repro.devices import build_sdf
+from repro.interfaces import KERNEL_IO_STACK, SDF_USER_SPACE_STACK
+from repro.sim import AllOf, MS, Simulator, US
+from repro.workloads import drive_sdf_reads
+
+
+def erase_throughput_gb_s():
+    """Erase every block of every channel as fast as possible."""
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf.prefill(1.0)
+    erased_bytes = {"total": 0}
+
+    def eraser(channel):
+        for block in range(channel.n_logical_blocks):
+            yield from channel.erase(block)
+            erased_bytes["total"] += channel.logical_block_bytes
+
+    procs = [sim.process(eraser(channel)) for channel in sdf.channels]
+    sim.run(until=AllOf(sim, procs))
+    return erased_bytes["total"] / (sim.now / 1e9) / 1e9, sdf
+
+
+def test_misc_erase_iostack(benchmark):
+    def run():
+        gb_s, sdf = erase_throughput_gb_s()
+        erase_mean_ms = sdf.stats.erase_latency.mean / 1e6
+
+        # Interrupt merging under a high-IOPS read load.
+        sim = Simulator()
+        sdf2 = build_sdf(sim, capacity_scale=0.004)
+        sdf2.prefill(1.0)
+        drive_sdf_reads(
+            sim, sdf2, 8192, duration_ns=30 * MS,
+            rng=np.random.default_rng(4),
+        )
+        return gb_s, erase_mean_ms, sdf2.interrupts.merge_ratio
+
+    erase_gb_s, erase_mean_ms, merge_ratio = run_once(benchmark, run)
+    rows = [
+        ["erase throughput (GB/s)", erase_gb_s],
+        ["mean 8 MB erase latency (ms)", erase_mean_ms],
+        ["SDF software stack (us/request)", SDF_USER_SPACE_STACK.total_ns / 1000],
+        ["kernel software stack (us/request)", KERNEL_IO_STACK.total_ns / 1000],
+        ["interrupts / completions", merge_ratio],
+    ]
+    emit(
+        benchmark,
+        "Erase command, I/O stack and interrupt-merging characteristics",
+        ["quantity", "value"],
+        rows,
+    )
+    # Paper: erasing a 2 MB block takes ~3 ms; a logical 8 MB erase hits
+    # 4 planes in parallel, so ~3 ms per 8 MB -> tens of GB/s across 44
+    # channels (paper: ~40 GB/s).
+    assert 2.9 <= erase_mean_ms <= 3.5
+    assert 40 <= erase_gb_s <= 130
+    # Software stacks: 2-4 us vs ~12.9 us.
+    assert 2 <= SDF_USER_SPACE_STACK.total_ns / 1000 <= 4
+    assert 12 <= KERNEL_IO_STACK.total_ns / 1000 <= 14
+    # MSI merging: 1/5 to 1/4 of completions raise interrupts.
+    assert 0.1 <= merge_ratio <= 0.35

@@ -1,0 +1,112 @@
+"""Table 1: raw vs measured bandwidth of the commodity SSDs.
+
+Paper: reads deliver 73-81% of raw bandwidth, writes 41-51%, roughly
+constant from the low-end SATA drive to the high-end PCIe drive.  The
+measurement procedure is sequential reads/writes in erase-block units.
+
+Our calibrated device models land read efficiencies in the paper's
+band.  Write efficiencies come out higher for the PCIe drives (67-70%
+vs the paper's ~48%) because we calibrate writes against Table 4's
+fresh-device numbers, and Table 1's write measurements appear to
+include background-GC steady-state effects the paper does not fully
+specify; the *ordering* (write efficiency well below read efficiency,
+low-end worst in absolute terms) is preserved.  See EXPERIMENTS.md.
+"""
+
+from _bench_common import BENCH_SCALE, emit, run_once
+
+from repro.analysis.bandwidth import (
+    raw_read_bandwidth_mb_s,
+    raw_write_bandwidth_mb_s,
+)
+from repro.devices import (
+    HUAWEI_GEN3_SPEC,
+    INTEL_320_SPEC,
+    MEMBLAZE_Q520_SPEC,
+    build_conventional,
+)
+from repro.sim import MS, Simulator
+from repro.workloads import drive_conventional_reads, drive_conventional_writes
+
+SPECS = [INTEL_320_SPEC, HUAWEI_GEN3_SPEC, MEMBLAZE_Q520_SPEC]
+
+
+def measure_device(spec):
+    erase_block = spec.geometry.block_size
+    sim = Simulator()
+    device = build_conventional(sim, spec, capacity_scale=BENCH_SCALE)
+    device.prefill(0.8)
+    read = drive_conventional_reads(
+        sim, device, request_bytes=erase_block, duration_ns=60 * MS,
+        queue_depth=8, sequential=True, warmup_ns=5 * MS,
+    )
+    # Fresh simulator for the write phase (independent measurement).
+    sim = Simulator()
+    from dataclasses import replace
+
+    write_spec = replace(spec, dram_buffer_bytes=16 << 20)
+    device = build_conventional(sim, write_spec, capacity_scale=BENCH_SCALE)
+    write = drive_conventional_writes(
+        sim, device, request_bytes=erase_block, duration_ns=150 * MS,
+        queue_depth=8, sequential=True, warmup_ns=30 * MS,
+    )
+    raw_read = raw_read_bandwidth_mb_s(
+        spec.n_channels,
+        spec.chips_per_channel * spec.geometry.planes_per_chip,
+        spec.geometry,
+        spec.timing,
+    )
+    raw_write = raw_write_bandwidth_mb_s(
+        spec.n_channels,
+        spec.chips_per_channel * spec.geometry.planes_per_chip,
+        spec.geometry,
+        spec.timing,
+    )
+    if spec.link.name.startswith("SATA"):
+        raw_read = min(raw_read, 300.0)
+        raw_write = min(raw_write, 300.0)
+    return dict(
+        name=spec.name, raw_read=raw_read, raw_write=raw_write,
+        read=read, write=write,
+    )
+
+
+def test_table1_commodity_bandwidth(benchmark, paper):
+    results = run_once(benchmark, lambda: [measure_device(s) for s in SPECS])
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result["name"],
+                f"{result['raw_read']:.0f}/{result['raw_write']:.0f}",
+                f"{result['read']:.0f}/{result['write']:.0f}",
+                f"{result['read'] / result['raw_read']:.2f}",
+                f"{result['write'] / result['raw_write']:.2f}",
+            ]
+        )
+    emit(
+        benchmark,
+        "Table 1: raw vs measured sequential bandwidths (MB/s)",
+        ["device", "raw R/W", "measured R/W", "R ratio", "W ratio"],
+        rows,
+    )
+    by_name = {result["name"]: result for result in results}
+    for result in results:
+        read_ratio = result["read"] / result["raw_read"]
+        write_ratio = result["write"] / result["raw_write"]
+        # Paper: reads 73-81% of raw; we allow a modestly wider band.
+        assert 0.60 <= read_ratio <= 0.92, result
+        # Writes always deliver a smaller share of raw than reads do.
+        assert write_ratio < read_ratio, result
+    # Absolute ordering across the product range (Table 1's columns).
+    assert (
+        by_name["intel-320"]["read"]
+        < by_name["huawei-gen3"]["read"]
+        <= by_name["memblaze-q520"]["read"] * 1.15
+    )
+    # Measured reads land within ~1.6x of the paper's numbers.
+    for name in by_name:
+        expected_read, _ = paper.TABLE1[name]["measured"]
+        assert (
+            expected_read / 1.6 <= by_name[name]["read"] <= expected_read * 1.6
+        ), (name, by_name[name]["read"], expected_read)

@@ -1,0 +1,142 @@
+"""Table 4: raw-device microbenchmark throughput.
+
+Paper (GB/s):
+
+    device   8K read  16K read  64K read  8M read  8M write
+    SDF      1.23     1.42      1.51      1.59     0.96
+    Gen3     0.92     1.02      1.15      1.20     0.67
+    Intel    0.17     0.20      0.22      0.22     0.13
+
+SDF is driven by 44 synchronous threads (one per channel); the
+commodity drives by one async submitter (modeled as queue depth 32).
+"""
+
+import numpy as np
+
+from _bench_common import BENCH_SCALE, emit, run_once
+
+from repro.devices import (
+    HUAWEI_GEN3_SPEC,
+    INTEL_320_SPEC,
+    build_conventional,
+    build_sdf,
+)
+from repro.sim import KIB, MIB, MS, Simulator
+from repro.workloads import (
+    drive_conventional_reads,
+    drive_conventional_writes,
+    drive_sdf_reads,
+    drive_sdf_writes,
+)
+
+READ_SIZES = [("8k", 8 * KIB), ("16k", 16 * KIB), ("64k", 64 * KIB),
+              ("8m", 8 * MIB)]
+
+
+def measure_sdf():
+    results = {}
+    for label, nbytes in READ_SIZES:
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=0.004)
+        sdf.prefill(1.0)
+        duration = 60 * MS if nbytes <= 64 * KIB else 900 * MS
+        warmup = duration // 6
+        request_level = drive_sdf_reads(
+            sim, sdf, nbytes, duration_ns=duration,
+            rng=np.random.default_rng(1),
+            sequential=(nbytes == 8 * MIB),
+            warmup_ns=warmup,
+        )
+        if nbytes == 8 * MIB:
+            # Whole-request completions are too coarse at ~220 ms each;
+            # meter the per-page DMA stream instead.
+            results[label] = (
+                sdf.link.read_meter.mb_per_s(warmup, duration) / 1000.0
+            )
+        else:
+            results[label] = request_level / 1000.0
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004)
+    drive_sdf_writes(sim, sdf, duration_ns=900 * MS, warmup_ns=150 * MS)
+    results["w8m"] = (
+        sdf.link.write_meter.mb_per_s(150 * MS, 900 * MS) / 1000.0
+    )
+    return results
+
+
+def measure_conventional(spec, write_buffer_bytes=32 << 20):
+    from dataclasses import replace
+
+    results = {}
+    for label, nbytes in READ_SIZES:
+        sim = Simulator()
+        device = build_conventional(sim, spec, capacity_scale=BENCH_SCALE)
+        device.prefill(0.8)
+        duration = 40 * MS if nbytes <= 64 * KIB else 150 * MS
+        results[label] = (
+            drive_conventional_reads(
+                sim, device, nbytes, duration_ns=duration, queue_depth=32,
+                rng=np.random.default_rng(2), warmup_ns=duration // 10,
+            )
+            / 1000.0
+        )
+    sim = Simulator()
+    device = build_conventional(
+        sim,
+        replace(spec, dram_buffer_bytes=write_buffer_bytes),
+        capacity_scale=BENCH_SCALE,
+    )
+    drive_conventional_writes(
+        sim, device, 8 * MIB, duration_ns=400 * MS, queue_depth=8,
+        warmup_ns=80 * MS,
+    )
+    # Meter the flash-side page stream: request completions are too
+    # coarse for 8 MB requests on the slower drives.
+    results["w8m"] = device.flush_meter.mb_per_s(80 * MS, 400 * MS) / 1000.0
+    return results
+
+
+def test_table4_microbenchmarks(benchmark, paper):
+    def run():
+        return {
+            "sdf": measure_sdf(),
+            "gen3": measure_conventional(HUAWEI_GEN3_SPEC),
+            "intel": measure_conventional(INTEL_320_SPEC),
+        }
+
+    results = run_once(benchmark, run)
+    columns = ["8k", "16k", "64k", "8m", "w8m"]
+    rows = [
+        [name] + [results[name][column] for column in columns]
+        for name in ("sdf", "gen3", "intel")
+    ]
+    emit(
+        benchmark,
+        "Table 4: device throughput (GB/s) -- 8K/16K/64K/8M reads, 8M writes",
+        ["device"] + columns,
+        rows,
+    )
+    sdf, gen3, intel = results["sdf"], results["gen3"], results["intel"]
+    # SDF beats the same-hardware Gen3 at every request size (the
+    # paper's headline comparison), and Intel trails far behind.
+    for column in columns:
+        assert sdf[column] > gen3[column], column
+        assert gen3[column] > 3 * intel[column], column
+    # SDF read throughput grows with request size and saturates near the
+    # PCIe effective limit for 8M requests (paper: 1.59 = 99% of 1.61).
+    assert sdf["8k"] < sdf["16k"] < sdf["64k"] <= sdf["8m"] * 1.02
+    assert sdf["8m"] >= 0.93 * paper.PCIE_READ
+    # SDF 8M write lands near the raw flash write bandwidth (paper:
+    # 0.96 GB/s = 94% of 1.01 raw; the DMA-side meter can lead the
+    # programs by a streaming window, hence the small upper slack).
+    assert 0.85 * paper.SDF_RAW_WRITE <= sdf["w8m"] <= 1.05 * paper.SDF_RAW_WRITE
+    # Absolute values within ~20% of the paper's Table 4.
+    for name, measured in results.items():
+        for column in columns:
+            expected = paper.TABLE4[name][column]
+            assert expected * 0.8 <= measured[column] <= expected * 1.25, (
+                name,
+                column,
+                measured[column],
+                expected,
+            )

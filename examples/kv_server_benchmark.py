@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's production experiments (Figures 10-11).
+
+Builds one storage server over an SDF and over a Huawei-Gen3-class SSD,
+loads each with CCDB slices, and drives them with batched synchronous
+512 KB KV read clients -- printing aggregate throughput as the batch
+size grows.  Watch SDF start far behind at batch 1 and shoot past the
+Gen3 once its 44 channels fill up.
+
+Run:  python examples/kv_server_benchmark.py   (takes a minute or two)
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import (
+    BatchSpec,
+    KVClient,
+    Network,
+    build_conventional_server,
+    build_sdf_server,
+    run_clients,
+)
+from repro.kv.slice import Slice, partition_key_space
+from repro.sim import KIB, MS, Simulator
+
+N_SLICES = 4
+VALUE_BYTES = 512 * KIB
+BATCH_SIZES = [1, 8, 44]
+DURATION = 120 * MS
+
+
+def make_slices():
+    return [
+        Slice(index, key_range)
+        for index, key_range in enumerate(
+            partition_key_space(N_SLICES, 0, 1_000_000)
+        )
+    ]
+
+
+def throughput(kind: str, batch_size: int) -> float:
+    sim = Simulator()
+    if kind == "sdf":
+        server = build_sdf_server(sim, make_slices(), capacity_scale=0.03)
+    else:
+        server = build_conventional_server(
+            sim, make_slices(), capacity_scale=0.03
+        )
+    keys = {}
+    for slice_ in server.slices:
+        slice_keys = [slice_.key_range.lo + i for i in range(64)]
+        server.preload(slice_, slice_keys, VALUE_BYTES)
+        keys[slice_.slice_id] = slice_keys
+    network = Network(sim)
+    clients = [
+        KVClient(
+            sim,
+            network,
+            server,
+            slice_,
+            BatchSpec(batch_size=batch_size, value_bytes=VALUE_BYTES,
+                      mode="read"),
+            keys=keys[slice_.slice_id],
+            rng=np.random.default_rng(slice_.slice_id),
+            name=f"client{slice_.slice_id}",
+        )
+        for slice_ in server.slices
+    ]
+    return run_clients(sim, clients, DURATION, warmup_ns=DURATION // 5)
+
+
+def main() -> None:
+    rows = []
+    for batch in BATCH_SIZES:
+        sdf_mb = throughput("sdf", batch)
+        gen3_mb = throughput("gen3", batch)
+        rows.append([batch, sdf_mb, gen3_mb])
+        print(f"batch {batch:>2}: SDF {sdf_mb:7.0f} MB/s | "
+              f"Gen3 {gen3_mb:7.0f} MB/s")
+    print()
+    print(
+        format_table(
+            ["batch size", "SDF MB/s", "Gen3 MB/s"],
+            rows,
+            title=f"{N_SLICES} slices, random {VALUE_BYTES // 1024} KB reads",
+        )
+    )
+    print("\nkv server benchmark OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 660 editable installs fail; `setup.py develop` still works."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro -- reproduction of *SDF: Software-Defined Flash* (ASPLOS 2014).
+
+The package implements, in pure Python:
+
+* a discrete-event simulation kernel (:mod:`repro.sim`);
+* a NAND flash substrate with datasheet timing (:mod:`repro.nand`,
+  :mod:`repro.channel`), BCH ECC (:mod:`repro.ecc`) and FTLs
+  (:mod:`repro.ftl`);
+* the SDF device and its conventional-SSD baselines
+  (:mod:`repro.devices`);
+* the paper's host-software contribution -- the user-space block layer
+  and schedulers (:mod:`repro.core`);
+* the CCDB LSM-tree KV store and cluster/workload models the evaluation
+  runs on (:mod:`repro.kv`, :mod:`repro.cluster`, :mod:`repro.workloads`);
+* analytic models for capacity, cost and reliability
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import build_sdf_system
+
+    system = build_sdf_system()
+    block = system.block_layer.allocate()
+    system.block_layer.write(block, b"hello" * 100)
+    assert system.block_layer.read(block, 0, 500) == b"hello" * 100
+"""
+
+from repro._version import __version__
+from repro.core.api import (
+    SDFSystem,
+    build_conventional_ssd,
+    build_sdf_system,
+)
+
+__all__ = [
+    "__version__",
+    "SDFSystem",
+    "build_sdf_system",
+    "build_conventional_ssd",
+]

@@ -1,0 +1,44 @@
+"""Analytic models backing the paper's headline claims.
+
+* :mod:`~repro.analysis.bandwidth` -- the raw-bandwidth arithmetic of
+  Table 1 and S3.2 (channels x planes x plane bandwidth);
+* :mod:`~repro.analysis.capacity` -- usable-capacity accounting: the
+  99% (SDF) vs 50-70% (commodity) claim;
+* :mod:`~repro.analysis.cost` -- the per-GB hardware cost model behind
+  the "~50% cost reduction" claim;
+* :mod:`~repro.analysis.reliability` -- fleet-scale BCH/replication
+  failure expectations (the one-error-in-six-months anecdote);
+* :mod:`~repro.analysis.reporting` -- plain-text tables for benchmark
+  output.
+"""
+
+from repro.analysis.bandwidth import (
+    raw_read_bandwidth_mb_s,
+    raw_write_bandwidth_mb_s,
+    sdf_raw_bandwidths,
+)
+from repro.analysis.capacity import (
+    CapacityBreakdown,
+    commodity_capacity,
+    sdf_capacity,
+)
+from repro.analysis.cost import CostModel, DEFAULT_COST_MODEL
+from repro.analysis.reliability import (
+    expected_fleet_uncorrectable_events,
+    replication_loss_probability,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "raw_read_bandwidth_mb_s",
+    "raw_write_bandwidth_mb_s",
+    "sdf_raw_bandwidths",
+    "CapacityBreakdown",
+    "sdf_capacity",
+    "commodity_capacity",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "expected_fleet_uncorrectable_events",
+    "replication_loss_probability",
+    "format_table",
+]

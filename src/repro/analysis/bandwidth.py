@@ -1,0 +1,61 @@
+"""Raw-bandwidth arithmetic (paper S1, Table 1, S3.2).
+
+"The raw bandwidth of an SSD is obtained by multiplying its channel
+count, number of flash planes in each channel, and each plane's
+bandwidth."  Reads are limited by the channel interface when the planes
+can sense faster than the bus can stream; writes are almost always
+tPROG-limited.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+
+
+def raw_read_bandwidth_mb_s(
+    channels: int,
+    planes_per_channel: int,
+    geometry: FlashGeometry,
+    timing: NandTiming,
+) -> float:
+    """Aggregate raw read bandwidth in decimal MB/s."""
+    _check(channels, planes_per_channel)
+    plane = timing.plane_read_mb_per_s(geometry.page_size)
+    per_channel_bus = (
+        geometry.page_size / (timing.bus_transfer_ns(geometry.page_size) / 1e9)
+    ) / 1e6
+    return channels * min(per_channel_bus, planes_per_channel * plane)
+
+
+def raw_write_bandwidth_mb_s(
+    channels: int,
+    planes_per_channel: int,
+    geometry: FlashGeometry,
+    timing: NandTiming,
+) -> float:
+    """Aggregate raw write bandwidth in decimal MB/s."""
+    _check(channels, planes_per_channel)
+    plane = timing.plane_program_mb_per_s(geometry.page_size)
+    per_channel_bus = (
+        geometry.page_size / (timing.bus_transfer_ns(geometry.page_size) / 1e9)
+    ) / 1e6
+    return channels * min(per_channel_bus, planes_per_channel * plane)
+
+
+def _check(channels: int, planes: int) -> None:
+    if channels < 1 or planes < 1:
+        raise ValueError("channels and planes must be >= 1")
+
+
+def sdf_raw_bandwidths() -> Tuple[float, float]:
+    """(read, write) raw bandwidth of the Baidu SDF in MB/s.
+
+    S3.2 quotes 1.67 GB/s and 1.01 GB/s.
+    """
+    read = raw_read_bandwidth_mb_s(44, 4, SDF_CHIP_GEOMETRY, MICRON_25NM_MLC)
+    write = raw_write_bandwidth_mb_s(44, 4, SDF_CHIP_GEOMETRY, MICRON_25NM_MLC)
+    return read, write

@@ -1,0 +1,83 @@
+"""Usable-capacity accounting (paper S1, S2.2).
+
+Commodity SSDs surrender raw space to (a) over-provisioning for garbage
+collection (10-40% at Baidu) and (b) cross-channel parity (~10%),
+leaving "typically only 50-70% of the raw capacity ... for user data".
+SDF eliminates both, keeping only a ~1% reserve for bad-block
+management: "99% of the flash capacity for user data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CapacityBreakdown:
+    """Where a device's raw bytes go, as fractions summing to 1."""
+
+    user_fraction: float
+    op_fraction: float
+    parity_fraction: float
+    reserve_fraction: float
+
+    def __post_init__(self):
+        total = (
+            self.user_fraction
+            + self.op_fraction
+            + self.parity_fraction
+            + self.reserve_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions sum to {total}, not 1")
+        for name in (
+            "user_fraction",
+            "op_fraction",
+            "parity_fraction",
+            "reserve_fraction",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} is negative")
+
+    def user_bytes(self, raw_bytes: int) -> int:
+        """Bytes of user-visible capacity."""
+        return int(raw_bytes * self.user_fraction)
+
+
+def commodity_capacity(
+    op_ratio: float = 0.25,
+    parity_group_size: Optional[int] = 11,
+    reserve_fraction: float = 0.0,
+) -> CapacityBreakdown:
+    """Breakdown for a conventional SSD.
+
+    Parity consumes 1/group_size of the channels; over-provisioning is a
+    fraction of what remains.
+    """
+    if not 0.0 <= op_ratio < 1.0:
+        raise ValueError("op_ratio outside [0, 1)")
+    parity = 0.0 if parity_group_size is None else 1.0 / parity_group_size
+    data_pool = 1.0 - parity - reserve_fraction
+    if data_pool <= 0:
+        raise ValueError("nothing left for data")
+    user = data_pool * (1.0 - op_ratio)
+    op = data_pool * op_ratio
+    return CapacityBreakdown(
+        user_fraction=user,
+        op_fraction=op,
+        parity_fraction=parity,
+        reserve_fraction=reserve_fraction,
+    )
+
+
+def sdf_capacity(reserve_fraction: float = 0.01) -> CapacityBreakdown:
+    """Breakdown for the SDF: no OP, no parity, ~1% BBM reserve."""
+    if not 0.0 <= reserve_fraction < 1.0:
+        raise ValueError("reserve_fraction outside [0, 1)")
+    return CapacityBreakdown(
+        user_fraction=1.0 - reserve_fraction,
+        op_fraction=0.0,
+        parity_fraction=0.0,
+        reserve_fraction=reserve_fraction,
+    )

@@ -1,0 +1,83 @@
+"""Fleet-scale reliability expectations (paper S2.2).
+
+"During the six months since over 2000 704GB SDFs were deployed ...
+there has been only one data error that could not be corrected by BCH
+ECC."  This module computes the expected number of uncorrectable events
+for a fleet given the wear-dependent RBER model and the BCH strength,
+and the probability of actual data loss once replication is layered on
+top.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ecc.model import EccModel
+
+
+def expected_fleet_uncorrectable_events(
+    n_devices: int,
+    months: float,
+    page_reads_per_device_per_day: float,
+    mean_pe_cycles: int,
+    ecc: EccModel | None = None,
+    page_bytes: int = 8192,
+) -> float:
+    """Expected uncorrectable page reads across the fleet.
+
+    A Poisson-style expectation: reads x P(uncorrectable | wear).
+    """
+    if n_devices < 1 or months <= 0 or page_reads_per_device_per_day < 0:
+        raise ValueError("invalid fleet parameters")
+    ecc = ecc if ecc is not None else EccModel()
+    p_fail = ecc.uncorrectable_probability(page_bytes, mean_pe_cycles)
+    total_reads = n_devices * months * 30.0 * page_reads_per_device_per_day
+    return total_reads * p_fail
+
+
+def replication_loss_probability(
+    p_replica_unavailable: float, replication_factor: int
+) -> float:
+    """P(all replicas fail for one read) with independent replicas."""
+    if not 0.0 <= p_replica_unavailable <= 1.0:
+        raise ValueError("probability outside [0, 1]")
+    if replication_factor < 1:
+        raise ValueError("need at least one replica")
+    return p_replica_unavailable**replication_factor
+
+
+def wear_for_target_fleet_events(
+    target_events: float,
+    n_devices: int,
+    months: float,
+    page_reads_per_device_per_day: float,
+    ecc: EccModel | None = None,
+    page_bytes: int = 8192,
+) -> int:
+    """The mean P/E wear at which the fleet would see ``target_events``.
+
+    Inverts :func:`expected_fleet_uncorrectable_events` by bisection on
+    wear; useful for asking "how worn could the paper's fleet have been
+    and still see ~1 event in 6 months?".
+    """
+    if target_events <= 0:
+        raise ValueError("target_events must be positive")
+    ecc = ecc if ecc is not None else EccModel()
+    lo, hi = 0, 20 * ecc.rber_model.endurance
+    if (
+        expected_fleet_uncorrectable_events(
+            n_devices, months, page_reads_per_device_per_day, hi, ecc, page_bytes
+        )
+        < target_events
+    ):
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        events = expected_fleet_uncorrectable_events(
+            n_devices, months, page_reads_per_device_per_day, mid, ecc, page_bytes
+        )
+        if events < target_events:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,54 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the rows/series its paper table or figure
+reports; this keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells: List[List[str]] = [[_fmt(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([_fmt(value) for value in row])
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    divider = "-+-".join("-" * width for width in widths)
+    parts.append(
+        " | ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))
+    )
+    parts.append(divider)
+    for line in cells[1:]:
+        parts.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(parts)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,49 @@
+"""The storage-cluster model (paper S3.1 / Table 2).
+
+Client nodes send synchronous, optionally batched KV requests over
+10 GbE to a storage server hosting CCDB slices backed by an SDF or a
+commodity SSD.  This is the testbed every production-system experiment
+(Figures 10-14) runs on.
+
+* :mod:`~repro.cluster.network` -- NIC/switch bandwidth model;
+* :mod:`~repro.cluster.storage` -- timed patch-storage adapters binding
+  slices to an :class:`~repro.devices.sdf.SDFDevice` (via the block
+  layer) or a :class:`~repro.devices.conventional.ConventionalSSD`;
+* :mod:`~repro.cluster.node` -- the storage server: request fan-out,
+  slice routing, background patch flushing and compaction;
+* :mod:`~repro.cluster.client` -- closed-loop clients (one per slice,
+  as in the paper's experiments);
+* :mod:`~repro.cluster.replication` -- the system-level replication that
+  replaces on-device parity (S2.2).
+"""
+
+from repro.cluster.client import BatchSpec, KVClient, run_clients
+from repro.cluster.network import Network, Nic, TEN_GBE_MB_S
+from repro.cluster.node import (
+    SERVER_CONFIG,
+    StorageServer,
+    build_conventional_server,
+    build_sdf_server,
+)
+from repro.cluster.replication import ReplicatedKV, ReplicaReadError
+from repro.cluster.storage import (
+    ConventionalNodeStorage,
+    SDFNodeStorage,
+)
+
+__all__ = [
+    "Nic",
+    "Network",
+    "TEN_GBE_MB_S",
+    "SDFNodeStorage",
+    "ConventionalNodeStorage",
+    "StorageServer",
+    "SERVER_CONFIG",
+    "build_sdf_server",
+    "build_conventional_server",
+    "KVClient",
+    "BatchSpec",
+    "run_clients",
+    "ReplicatedKV",
+    "ReplicaReadError",
+]

@@ -1,0 +1,167 @@
+"""Closed-loop KV clients (paper S3.3).
+
+"Each slice is always loaded with requests from a single client; each
+client continuously sends synchronous read/write KV requests to one
+slice ... one request may contain multiple read/write sub-requests; the
+number of sub-requests contained in a request is called the request's
+batch size."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.network import Network, Nic, TEN_GBE_MB_S
+from repro.cluster.node import StorageServer
+from repro.kv.common import PlaceholderValue
+from repro.kv.slice import Slice
+from repro.sim import AllOf, Simulator
+from repro.sim.stats import LatencyRecorder, ThroughputMeter
+
+#: Size of one KV request/response envelope (headers, key, status).
+ENVELOPE_BYTES = 256
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Shape of one client's requests."""
+
+    batch_size: int = 1
+    value_bytes: int = 512 * 1024
+    mode: str = "read"  # "read" or "write"
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.value_bytes < 1:
+            raise ValueError("value_bytes must be >= 1")
+        if self.mode not in ("read", "write"):
+            raise ValueError(f"mode must be read/write, got {self.mode!r}")
+
+
+class KVClient:
+    """One client node driving one slice with synchronous batches."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server: StorageServer,
+        slice_: Slice,
+        spec: BatchSpec,
+        keys: Optional[List] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "client",
+    ):
+        self.sim = sim
+        self.network = network
+        self.server = server
+        self.slice = slice_
+        self.spec = spec
+        self.keys = keys if keys is not None else []
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.nic = Nic(sim, TEN_GBE_MB_S, lanes=1, name=name)
+        self.meter = ThroughputMeter(f"{name}.data")
+        self.latency = LatencyRecorder(f"{name}.latency")
+        self.requests_completed = 0
+        self._write_seq = 0
+
+    # -- key selection ---------------------------------------------------------------
+    def _sample_read_keys(self, count: int) -> List:
+        if not self.keys:
+            raise RuntimeError("read client has no preloaded keys to sample")
+        picks = self.rng.integers(0, len(self.keys), size=count)
+        return [self.keys[int(i)] for i in picks]
+
+    def _next_write_keys(self, count: int) -> List:
+        lo = self.slice.key_range.lo
+        hi = self.slice.key_range.hi
+        span = hi - lo
+        keys = []
+        for _ in range(count):
+            keys.append(lo + (self._write_seq % span))
+            self._write_seq += 1
+        return keys
+
+    # -- request loops (generators) ------------------------------------------------------
+    def run(self, until_ns: int):
+        """Closed loop: issue batches back-to-back until the deadline."""
+        while self.sim.now < until_ns:
+            yield from self.request_once()
+
+    def request_once(self):
+        """One synchronous batched request (the unit the paper measures)."""
+        spec = self.spec
+        start = self.sim.now
+        if spec.mode == "read":
+            keys = self._sample_read_keys(spec.batch_size)
+            request_bytes = ENVELOPE_BYTES * spec.batch_size
+            response_bytes = (
+                spec.batch_size * spec.value_bytes
+                + ENVELOPE_BYTES * spec.batch_size
+            )
+        else:
+            keys = self._next_write_keys(spec.batch_size)
+            request_bytes = (
+                spec.batch_size * spec.value_bytes
+                + ENVELOPE_BYTES * spec.batch_size
+            )
+            response_bytes = ENVELOPE_BYTES * spec.batch_size
+        yield from self.network.send(self.nic, self.server.nic, request_bytes)
+        if spec.mode == "read":
+            # Each sub-response streams back as soon as its sub-request
+            # completes (S3.3.1: the server "can send the data back to
+            # the client at the same time that it is serving the next
+            # sub-request").
+            per_sub = response_bytes // spec.batch_size
+
+            def sub_read(key):
+                value = yield from self.server.handle_get(key)
+                yield from self.network.send(
+                    self.server.nic, self.nic, per_sub
+                )
+                return value
+
+            subs = [self.sim.process(sub_read(key)) for key in keys]
+            yield AllOf(self.sim, subs)
+        else:
+            subs = [
+                self.sim.process(
+                    self.server.handle_put(
+                        key, PlaceholderValue(spec.value_bytes)
+                    )
+                )
+                for key in keys
+            ]
+            yield AllOf(self.sim, subs)
+            yield from self.network.send(
+                self.server.nic, self.nic, response_bytes
+            )
+        payload = spec.batch_size * spec.value_bytes
+        self.meter.record(self.sim.now, payload)
+        self.latency.record(self.sim.now - start)
+        self.requests_completed += 1
+
+
+def run_clients(
+    sim: Simulator,
+    clients: List[KVClient],
+    duration_ns: int,
+    warmup_ns: int = 0,
+):
+    """Run every client for ``duration_ns``; returns aggregate MB/s
+    measured over the post-warmup window."""
+    deadline = sim.now + duration_ns
+    measure_from = sim.now + warmup_ns
+    procs = [sim.process(client.run(deadline)) for client in clients]
+    sim.run(until=AllOf(sim, procs))
+    total = sum(
+        client.meter.bytes_in(measure_from, sim.now) for client in clients
+    )
+    elapsed = sim.now - measure_from
+    if elapsed <= 0:
+        return 0.0
+    return total / 1e6 / (elapsed / 1e9)

@@ -1,0 +1,94 @@
+"""Datacenter network model.
+
+Table 2 / S3.1: the server connects to the switch with two 10 Gbps
+NICs, clients with one each.  We model each NIC as independent tx/rx
+lanes with chunked transfers (so concurrent flows share fairly) plus a
+small per-message switch latency.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Resource, Simulator
+from repro.sim.units import KIB, transfer_ns
+
+#: 10 Gbps Ethernet ~ 1250 MB/s line rate; ~1180 MB/s effective after
+#: framing overheads.
+TEN_GBE_MB_S = 1180.0
+
+
+class Nic:
+    """One network interface: full-duplex tx/rx at a fixed rate.
+
+    ``lanes`` models NIC bonding (the server has two 10 GbE ports).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mb_per_s: float = TEN_GBE_MB_S,
+        lanes: int = 1,
+        chunk_bytes: int = 64 * KIB,
+        name: str = "nic",
+    ):
+        if mb_per_s <= 0:
+            raise ValueError("NIC rate must be positive")
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.sim = sim
+        self.mb_per_s = mb_per_s
+        self.chunk_bytes = chunk_bytes
+        self.name = name
+        self.tx = Resource(sim, capacity=lanes)
+        self.rx = Resource(sim, capacity=lanes)
+
+    def _hold(self, lane: Resource, nbytes: int):
+        remaining = max(nbytes, 1)
+        while remaining > 0:
+            chunk = min(remaining, self.chunk_bytes)
+            with lane.request() as hold:
+                yield hold
+                yield self.sim.timeout(transfer_ns(chunk, self.mb_per_s))
+            remaining -= chunk
+
+    def transmit(self, nbytes: int):
+        """Generator: occupy the tx lane for nbytes."""
+        yield from self._hold(self.tx, nbytes)
+
+    def receive(self, nbytes: int):
+        """Generator: occupy the rx lane for nbytes."""
+        yield from self._hold(self.rx, nbytes)
+
+
+class Network:
+    """A single switch connecting NICs with fixed fabric latency."""
+
+    def __init__(self, sim: Simulator, latency_ns: int = 50_000):
+        if latency_ns < 0:
+            raise ValueError("latency must be >= 0")
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def send(self, src: Nic, dst: Nic, nbytes: int):
+        """Generator: move one message from ``src`` to ``dst``.
+
+        Each chunk occupies the source tx lane and the destination rx
+        lane simultaneously (cut-through switching): a single flow runs
+        at line rate and concurrent flows share the contended lane.
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        yield self.sim.timeout(self.latency_ns)
+        remaining = max(nbytes, 1)
+        while remaining > 0:
+            chunk = min(remaining, min(src.chunk_bytes, dst.chunk_bytes))
+            with src.tx.request() as tx_hold:
+                yield tx_hold
+                with dst.rx.request() as rx_hold:
+                    yield rx_hold
+                    rate = min(src.mb_per_s, dst.mb_per_s)
+                    yield self.sim.timeout(transfer_ns(chunk, rate))
+            remaining -= chunk
+        self.messages += 1
+        self.bytes_moved += nbytes

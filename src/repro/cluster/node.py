@@ -1,0 +1,282 @@
+"""The storage server node (paper S3.1, Table 2).
+
+A :class:`StorageServer` hosts one or more CCDB slices over one storage
+adapter.  It:
+
+* routes each request to the slice owning its key;
+* serves gets with the one-device-read guarantee;
+* serves puts into the slice's memtable, flushing full 8 MB patches to
+  storage from background processes (with bounded pending patches, so
+  sustained writers feel storage backpressure);
+* runs per-slice background compaction -- the internal read/write
+  traffic that Figure 14 measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.network import Nic, TEN_GBE_MB_S
+from repro.cluster.storage import ConventionalNodeStorage, SDFNodeStorage
+from repro.kv.common import PlaceholderValue
+from repro.kv.compaction import split_patch
+from repro.kv.slice import Slice
+from repro.sim import Resource, Simulator, Store
+from repro.sim.stats import Counter, ThroughputMeter
+
+#: Table 2: client and server node configuration.
+SERVER_CONFIG = {
+    "cpu": "2x Intel E5620, 2.4 GHz",
+    "memory_gb": 32,
+    "os": "Linux 2.6.32 kernel",
+    "nic": "2x Intel 82599 10 GbE",
+}
+
+
+class StorageServer:
+    """One storage node hosting CCDB slices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        storage,
+        slices: List[Slice],
+        per_request_cpu_ns: int = 200_000,
+        copy_mb_per_s: float = 1250.0,
+        max_pending_patches: int = 2,
+        enable_compaction: bool = True,
+        nic: Optional[Nic] = None,
+    ):
+        if not slices:
+            raise ValueError("a server needs at least one slice")
+        self.sim = sim
+        self.storage = storage
+        self.slices = list(slices)
+        self.per_request_cpu_ns = per_request_cpu_ns
+        self.copy_mb_per_s = copy_mb_per_s
+        self.nic = nic if nic is not None else Nic(
+            sim, TEN_GBE_MB_S, lanes=2, name="server"
+        )
+        self._flush_slots = {
+            s.slice_id: Resource(sim, capacity=max_pending_patches)
+            for s in self.slices
+        }
+        # Each slice is served by a single handler thread (CCDB's model):
+        # per-request KV processing is serialized per slice, costing a
+        # fixed dispatch overhead plus a size-proportional copy/checksum
+        # term.  (~0.6 ms for a 512 KB value reproduces the paper's
+        # single-slice throughput envelope, Figure 10.)
+        self._slice_cpu = {
+            s.slice_id: Resource(sim, capacity=1) for s in self.slices
+        }
+        self._compaction_pokes = {s.slice_id: Store(sim) for s in self.slices}
+        self.compaction_read_meter = ThroughputMeter("compaction.read")
+        self.compaction_write_meter = ThroughputMeter("compaction.write")
+        self.gets = Counter("server.gets")
+        self.puts = Counter("server.puts")
+        self.scans = Counter("server.scans")
+        if enable_compaction:
+            for slice_ in self.slices:
+                sim.process(self._compactor(slice_))
+
+    # -- routing -------------------------------------------------------------------
+    def route(self, key) -> Slice:
+        """The slice owning this key (KeyError if none)."""
+        for slice_ in self.slices:
+            if slice_.owns(key):
+                return slice_
+        raise KeyError(f"no slice on this server owns key {key!r}")
+
+    # -- request handlers (generators) -----------------------------------------------
+    def _cpu_cost_ns(self, nbytes: int) -> int:
+        """Slice-handler time: fixed dispatch + size-proportional copy."""
+        from repro.sim.units import transfer_ns
+
+        return self.per_request_cpu_ns + transfer_ns(nbytes, self.copy_mb_per_s)
+
+    def handle_get(self, key):
+        """Generator -> the value (or None): at most one device read."""
+        self.gets.add()
+        slice_ = self.route(key)
+        slice_.reads.add()
+        with self._slice_cpu[slice_.slice_id].request() as cpu:
+            yield cpu
+            yield self.sim.timeout(self.per_request_cpu_ns)
+        kind, payload = slice_.lsm.get(key)
+        if kind == "value":
+            return payload
+        if kind == "miss":
+            return None
+        value = yield from self.storage.read_value(payload, key)
+        with self._slice_cpu[slice_.slice_id].request() as cpu:
+            yield cpu
+            yield self.sim.timeout(
+                self._cpu_cost_ns(payload.size) - self.per_request_cpu_ns
+            )
+        return value
+
+    def handle_put(self, key, value):
+        """Generator: insert; blocks only when flushes are backed up."""
+        self.puts.add()
+        slice_ = self.route(key)
+        slice_.writes.add()
+        from repro.kv.common import sizeof_value
+
+        with self._slice_cpu[slice_.slice_id].request() as cpu:
+            yield cpu
+            yield self.sim.timeout(self._cpu_cost_ns(sizeof_value(value)))
+        frozen = slice_.lsm.put(key, value)
+        if frozen is not None:
+            slot = self._flush_slots[slice_.slice_id].request()
+            yield slot
+            self.sim.process(self._flush(slice_, frozen, slot))
+
+    def handle_delete(self, key):
+        """Generator: delete = put of a tombstone."""
+        yield from self.handle_put(key, _tombstone())
+
+    def scan_plan(self, lo, hi):
+        """All (slice, run) pairs a range scan must read, synchronously
+        computed from DRAM metadata."""
+        self.scans.add()
+        plan = []
+        for slice_ in self.slices:
+            if slice_.key_range.hi <= lo or slice_.key_range.lo >= hi:
+                continue
+            memory_items, runs = slice_.lsm.scan_plan(lo, hi)
+            plan.append((slice_, memory_items, runs))
+        return plan
+
+    def handle_patch_read(self, handle, slice_: Optional[Slice] = None):
+        """Generator -> a whole patch (one 8 MB sequential read).
+
+        When ``slice_`` is given, the request serializes on that
+        slice's handler thread like any other request.
+        """
+        if slice_ is not None:
+            with self._slice_cpu[slice_.slice_id].request() as cpu:
+                yield cpu
+                yield self.sim.timeout(self.per_request_cpu_ns)
+        else:
+            yield self.sim.timeout(self.per_request_cpu_ns)
+        patch = yield from self.storage.read_patch(handle)
+        return patch
+
+    # -- background work ---------------------------------------------------------------
+    def _flush(self, slice_: Slice, frozen, slot):
+        try:
+            handle = yield from self.storage.store_patch(frozen.patch)
+            slice_.lsm.register_patch(frozen, handle)
+            yield self._compaction_pokes[slice_.slice_id].put(True)
+        finally:
+            self._flush_slots[slice_.slice_id].release(slot)
+
+    def _compactor(self, slice_: Slice):
+        """Per-slice compaction loop: merge whenever the policy asks."""
+        pokes = self._compaction_pokes[slice_.slice_id]
+        while True:
+            yield pokes.get()
+            while True:
+                task = slice_.lsm.pick_compaction()
+                if task is None:
+                    break
+                patches = []
+                for handle in slice_.lsm.run_handles(task):
+                    patch = yield from self.storage.read_patch(handle)
+                    self.compaction_read_meter.record(
+                        self.sim.now, patch.nbytes
+                    )
+                    patches.append(patch)
+                merged = slice_.lsm.merge_for_task(task, patches)
+                parts = split_patch(
+                    merged, self.storage.patch_capacity_bytes
+                )
+                new_handles = []
+                for part in parts:
+                    handle = yield from self.storage.store_patch(part)
+                    self.compaction_write_meter.record(
+                        self.sim.now, part.nbytes
+                    )
+                    new_handles.append(handle)
+                freed = slice_.lsm.apply_compaction(task, parts, new_handles)
+                for handle in freed:
+                    yield from self.storage.free_patch(handle)
+
+    # -- preloading -------------------------------------------------------------------
+    def preload(self, slice_: Slice, keys, value_bytes: int, compact: bool = True):
+        """Functionally populate a slice (no simulated time) so read
+        experiments start from a realistic on-device state."""
+        lsm = slice_.lsm
+        for key in keys:
+            slice_.require_owns(key)
+            frozen = lsm.put(key, PlaceholderValue(value_bytes))
+            if frozen is not None:
+                handle = self.storage.functional_store(frozen.patch)
+                lsm.register_patch(frozen, handle)
+        frozen = lsm.flush()
+        if frozen is not None:
+            handle = self.storage.functional_store(frozen.patch)
+            lsm.register_patch(frozen, handle)
+        if compact:
+            while True:
+                task = lsm.pick_compaction()
+                if task is None:
+                    break
+                patches = [
+                    self.storage.functional_load(h)
+                    for h in lsm.run_handles(task)
+                ]
+                merged = lsm.merge_for_task(task, patches)
+                parts = split_patch(merged, self.storage.patch_capacity_bytes)
+                new_handles = [
+                    self.storage.functional_store(part) for part in parts
+                ]
+                for handle in lsm.apply_compaction(task, parts, new_handles):
+                    self.storage.functional_free(handle)
+
+
+def _tombstone():
+    from repro.kv.common import TOMBSTONE
+
+    return TOMBSTONE
+
+
+def build_sdf_server(
+    sim: Simulator,
+    slices: List[Slice],
+    capacity_scale: float = 0.05,
+    n_channels: int = 44,
+    **server_kwargs,
+):
+    """A storage server over a freshly built SDF system."""
+    from repro.core.api import build_sdf_system
+
+    system = build_sdf_system(
+        capacity_scale=capacity_scale, n_channels=n_channels, sim=sim
+    )
+    storage = SDFNodeStorage(system.block_layer)
+    server = StorageServer(sim, storage, slices, **server_kwargs)
+    server.system = system
+    return server
+
+
+def build_conventional_server(
+    sim: Simulator,
+    slices: List[Slice],
+    spec=None,
+    capacity_scale: float = 0.05,
+    **server_kwargs,
+):
+    """A storage server over a commodity SSD baseline."""
+    from repro.devices.catalog import HUAWEI_GEN3_SPEC, build_conventional
+
+    device = build_conventional(
+        sim,
+        spec if spec is not None else HUAWEI_GEN3_SPEC,
+        capacity_scale=capacity_scale,
+        store_data=True,  # pages hold patch references for value reads
+    )
+    storage = ConventionalNodeStorage(device)
+    server = StorageServer(sim, storage, slices, **server_kwargs)
+    server.device = device
+    return server

@@ -1,0 +1,92 @@
+"""System-level replication (paper S2.2).
+
+SDF drops on-device parity because "data reliability is provided by
+data replication across multiple racks": CCDB replicates each slice
+over several server nodes.  :class:`ReplicatedKV` writes every value to
+all replicas and, when a read hits an uncorrectable error (the rare
+BCH-failure event the paper reports), recovers from the next replica.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.node import StorageServer
+from repro.sim import AllOf, Simulator
+from repro.sim.stats import Counter
+
+
+class ReplicaReadError(Exception):
+    """An uncorrectable device error surfaced to the software layer."""
+
+
+class ReplicatedKV:
+    """A key's value stored on every one of ``servers``.
+
+    ``read_failure_rate`` injects uncorrectable-read events (standing in
+    for the wear-driven BCH failures of
+    :class:`repro.ecc.model.EccModel`) so recovery paths can be
+    exercised deterministically in simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: List[StorageServer],
+        read_failure_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not servers:
+            raise ValueError("need at least one replica server")
+        if not 0.0 <= read_failure_rate < 1.0:
+            raise ValueError("read_failure_rate outside [0, 1)")
+        if read_failure_rate > 0.0 and rng is None:
+            raise ValueError("failure injection needs an rng")
+        self.sim = sim
+        self.servers = servers
+        self.read_failure_rate = read_failure_rate
+        self.rng = rng
+        self.recoveries = Counter("replication.recoveries")
+        self.data_loss_events = Counter("replication.data_loss")
+
+    @property
+    def replication_factor(self) -> int:
+        """Number of replicas."""
+        return len(self.servers)
+
+    def put(self, key, value):
+        """Generator: write to every replica in parallel."""
+        writers = [
+            self.sim.process(server.handle_put(key, value))
+            for server in self.servers
+        ]
+        yield AllOf(self.sim, writers)
+
+    def get(self, key):
+        """Generator -> value; fails over across replicas on errors."""
+        last_error = None
+        for attempt, server in enumerate(self.servers):
+            try:
+                value = yield from server.handle_get(key)
+            except KeyError as exc:  # replica lost the key somehow
+                last_error = exc
+                continue
+            if self._injected_failure():
+                last_error = ReplicaReadError(
+                    f"uncorrectable read of {key!r} on replica {attempt}"
+                )
+                self.recoveries.add()
+                continue
+            return value
+        self.data_loss_events.add()
+        raise ReplicaReadError(
+            f"all {self.replication_factor} replicas failed for {key!r}"
+        ) from last_error
+
+    def _injected_failure(self) -> bool:
+        return (
+            self.read_failure_rate > 0.0
+            and self.rng.random() < self.read_failure_rate
+        )

@@ -1,0 +1,171 @@
+"""Timed patch-storage adapters for storage-server nodes.
+
+A node storage adapter turns LSM work items into timed device I/O:
+
+* ``store_patch`` -- persist one <= 8 MB patch (one SDF write unit);
+* ``read_value`` -- fetch one value with a single device read of just
+  the pages covering it (the paper's one-read guarantee);
+* ``read_patch`` -- fetch a whole patch (compaction and scans);
+* ``free_patch`` -- release the space (background erase on SDF; LBA
+  reuse on the conventional SSD).
+
+Patches are kept as Python objects: every page of a stored patch holds
+a reference to the same :class:`~repro.kv.patch.Patch`, so any page read
+can resolve values while the simulator charges time for exactly the
+pages a real system would touch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.block_layer import UserSpaceBlockLayer
+from repro.devices.conventional import ConventionalSSD
+from repro.kv.lsm import Lookup
+from repro.kv.patch import Patch
+
+
+class SDFNodeStorage:
+    """Patches on an SDF through the user-space block layer."""
+
+    def __init__(self, block_layer: UserSpaceBlockLayer):
+        self.block_layer = block_layer
+        self.sim = block_layer.sim
+
+    @property
+    def patch_capacity_bytes(self) -> int:
+        """Largest patch this storage accepts."""
+        return self.block_layer.block_bytes
+
+    def store_patch(self, patch: Patch):
+        """Generator -> handle (a block ID)."""
+        if patch.nbytes > self.patch_capacity_bytes:
+            raise ValueError("patch exceeds the 8 MB write unit")
+        handle = self.block_layer.allocate_id()
+        pages = [patch] * self.block_layer.pages_per_block
+        yield from self.block_layer.write(handle, pages)
+        return handle
+
+    def read_value(self, lookup: Lookup, key):
+        """Generator -> value, reading only the pages covering it."""
+        nbytes = max(lookup.size, 1)
+        payloads = yield from self.block_layer.read(
+            lookup.handle, lookup.offset, nbytes
+        )
+        patch: Patch = payloads[0]
+        found, value = patch.get(key)
+        if not found:
+            raise KeyError(f"{key!r} missing from stored patch")
+        return value
+
+    def read_patch(self, handle) -> Patch:
+        """Generator -> the whole patch (a full 8 MB sequential read)."""
+        payloads = yield from self.block_layer.read(handle, 0, None)
+        return payloads[0]
+
+    def free_patch(self, handle):
+        """Generator: release the block (erased in the background)."""
+        yield from self.block_layer.free(handle)
+
+    # -- functional (zero-time) preloading --------------------------------------
+    def functional_store(self, patch: Patch):
+        """Store a patch with no simulated time (preloading)."""
+        handle = self.block_layer.allocate_id()
+        pages = [patch] * self.block_layer.pages_per_block
+        self.block_layer.functional_write(handle, pages)
+        return handle
+
+    def functional_load(self, handle) -> Patch:
+        """Load a patch with no simulated time."""
+        return self.block_layer.functional_read(handle)[0]
+
+    def functional_free(self, handle) -> None:
+        """Release a patch with no simulated time."""
+        self.block_layer.functional_free(handle)
+
+
+class ConventionalNodeStorage:
+    """Patches on a conventional SSD, one 8 MB LBA extent per patch.
+
+    Extents are recycled: rewriting a previously-used extent invalidates
+    its old flash pages inside the device, which is what feeds the FTL's
+    garbage collector under sustained write load.
+    """
+
+    def __init__(self, device: ConventionalSSD, patch_bytes: int = 8 << 20):
+        self.device = device
+        self.sim = device.sim
+        self.patch_bytes = patch_bytes
+        self.pages_per_patch = patch_bytes // device.page_size
+        if self.pages_per_patch < 1:
+            raise ValueError("patch smaller than one page")
+        n_extents = device.user_pages // self.pages_per_patch
+        if n_extents < 1:
+            raise ValueError("device too small for a single patch extent")
+        self._free_extents = deque(
+            extent * self.pages_per_patch for extent in range(n_extents)
+        )
+
+    @property
+    def patch_capacity_bytes(self) -> int:
+        """Largest patch this storage accepts."""
+        return self.patch_bytes
+
+    def store_patch(self, patch: Patch):
+        """Generator: persist one patch; returns its handle."""
+        if patch.nbytes > self.patch_bytes:
+            raise ValueError("patch exceeds the patch extent")
+        if not self._free_extents:
+            raise RuntimeError("no free patch extents on the device")
+        lpn = self._free_extents.popleft()
+        yield from self.device.write(lpn, self.pages_per_patch, data=patch)
+        return lpn
+
+    def read_value(self, lookup: Lookup, key):
+        """Generator: fetch one value with a single device read."""
+        page = self.device.page_size
+        first_page = lookup.offset // page
+        last_page = (lookup.offset + max(lookup.size, 1) - 1) // page
+        payloads = yield from self.device.read(
+            lookup.handle + first_page, last_page - first_page + 1
+        )
+        patch: Optional[Patch] = payloads[0]
+        if patch is None:
+            raise KeyError(f"extent at lpn {lookup.handle} holds no data")
+        found, value = patch.get(key)
+        if not found:
+            raise KeyError(f"{key!r} missing from stored patch")
+        return value
+
+    def read_patch(self, handle) -> Patch:
+        """Generator: fetch a whole patch."""
+        payloads = yield from self.device.read(handle, self.pages_per_patch)
+        return payloads[0]
+
+    def free_patch(self, handle):
+        """Return the extent for reuse (invalidated on next overwrite)."""
+        self._free_extents.append(handle)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    # -- functional (zero-time) preloading --------------------------------------
+    def functional_store(self, patch: Patch):
+        """Store a patch with no simulated time (preloading)."""
+        if not self._free_extents:
+            raise RuntimeError("no free patch extents on the device")
+        lpn = self._free_extents.popleft()
+        for index in range(self.pages_per_patch):
+            self.device.ftl.write(lpn + index, patch)
+        return lpn
+
+    def functional_load(self, handle) -> Patch:
+        """Load a patch with no simulated time."""
+        data, _ = self.device.ftl.read(handle)
+        if data is None:
+            raise KeyError(f"extent at lpn {handle} holds no data")
+        return data
+
+    def functional_free(self, handle) -> None:
+        """Release a patch with no simulated time."""
+        self._free_extents.append(handle)

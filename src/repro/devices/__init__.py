@@ -1,0 +1,39 @@
+"""Storage devices: the SDF and its conventional-SSD baselines.
+
+* :class:`~repro.devices.sdf.SDFDevice` -- the paper's device: 44
+  channels exposed individually (`/dev/sda0..43`), 8 KB read unit, 8 MB
+  write/erase unit, explicit erase command, no OP/parity/DRAM-cache/GC.
+* :class:`~repro.devices.conventional.ConventionalSSD` -- the baseline
+  architecture (Figure 5a): single controller, page-mapped FTL, 8 KB
+  striping, over-provisioning, GC, DRAM write-back buffer, optional
+  channel parity.
+* :mod:`~repro.devices.catalog` -- the concrete devices of Tables 1-3:
+  Baidu SDF, Huawei Gen3, Intel 320, and a Memblaze-Q520-class high-end
+  drive.
+"""
+
+from repro.devices.base import DeviceStats
+from repro.devices.catalog import (
+    HUAWEI_GEN3_SPEC,
+    INTEL_320_SPEC,
+    MEMBLAZE_Q520_SPEC,
+    build_conventional,
+    build_sdf,
+    sdf_spec,
+)
+from repro.devices.conventional import ConventionalSSD, ConventionalSSDSpec
+from repro.devices.sdf import SDFChannelDevice, SDFDevice
+
+__all__ = [
+    "DeviceStats",
+    "SDFDevice",
+    "SDFChannelDevice",
+    "ConventionalSSD",
+    "ConventionalSSDSpec",
+    "build_sdf",
+    "build_conventional",
+    "sdf_spec",
+    "HUAWEI_GEN3_SPEC",
+    "INTEL_320_SPEC",
+    "MEMBLAZE_Q520_SPEC",
+]

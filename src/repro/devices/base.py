@@ -1,0 +1,44 @@
+"""Shared device plumbing: per-operation statistics."""
+
+from __future__ import annotations
+
+from repro.sim.stats import Counter, LatencyRecorder, ThroughputMeter
+
+
+class DeviceStats:
+    """Latency and throughput recorders for one device."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.read_latency = LatencyRecorder(f"{name}.read.latency")
+        self.write_latency = LatencyRecorder(f"{name}.write.latency")
+        self.erase_latency = LatencyRecorder(f"{name}.erase.latency")
+        self.read_meter = ThroughputMeter(f"{name}.read.bytes")
+        self.write_meter = ThroughputMeter(f"{name}.write.bytes")
+        self.requests = Counter(f"{name}.requests")
+
+    def note_read(self, now: int, nbytes: int, latency_ns: int) -> None:
+        """Record one completed read."""
+        self.requests.add()
+        self.read_meter.record(now, nbytes)
+        self.read_latency.record(latency_ns)
+
+    def note_write(self, now: int, nbytes: int, latency_ns: int) -> None:
+        """Record one completed write."""
+        self.requests.add()
+        self.write_meter.record(now, nbytes)
+        self.write_latency.record(latency_ns)
+
+    def note_erase(self, now: int, latency_ns: int) -> None:
+        """Record one completed erase."""
+        self.requests.add()
+        self.erase_latency.record(latency_ns)
+
+    def reset(self) -> None:
+        """Clear every recorder (e.g. after a warmup phase)."""
+        self.read_latency.reset()
+        self.write_latency.reset()
+        self.erase_latency.reset()
+        self.read_meter.reset()
+        self.write_meter.reset()
+        self.requests.reset()

@@ -1,0 +1,129 @@
+"""The concrete devices of the paper's Tables 1-4.
+
+Controller costs for the commodity baselines are calibrated against the
+paper's own measurements (Table 4's request-size sweep fits a
+per-request + per-page cost model almost exactly; see EXPERIMENTS.md).
+The SDF has no controller knobs -- its numbers emerge from the channel
+engines, the link, and the thin software stack alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.conventional import ConventionalSSD, ConventionalSSDSpec
+from repro.devices.sdf import SDFDevice
+from repro.interfaces.iostack import KERNEL_IO_STACK
+from repro.interfaces.link import PCIE_1_1_X8, SATA_2_0
+from repro.nand.catalog import (
+    HIGH_END_CHIP_GEOMETRY,
+    INTEL_25NM_MLC,
+    INTEL_320_CHIP_GEOMETRY,
+    MICRON_25NM_MLC,
+    MICRON_34NM_MLC,
+    SDF_CHIP_GEOMETRY,
+)
+from repro.sim import Simulator
+
+#: Huawei Gen3 -- the SDF's hardware predecessor: identical flash and
+#: channel count, but a conventional architecture (Table 3 + S3.1:
+#: 8 KB striping over 44 channels, 25% OP, 1 GB DRAM buffer, channel
+#: parity, kernel I/O stack).
+HUAWEI_GEN3_SPEC = ConventionalSSDSpec(
+    name="huawei-gen3",
+    n_channels=44,
+    chips_per_channel=2,
+    geometry=SDF_CHIP_GEOMETRY,
+    timing=MICRON_25NM_MLC,
+    link=PCIE_1_1_X8,
+    iostack=KERNEL_IO_STACK,
+    op_ratio=0.25,
+    stripe_pages=1,  # 8 KB striping unit
+    parity_group_size=11,  # 10 data + 1 parity channels
+    dram_buffer_bytes=1 << 30,
+    controller_request_ns=2_200,
+    controller_read_ns_per_page=6_700,  # -> ~1.2 GB/s stream ceiling
+    controller_write_ns_per_page=12_200,  # -> ~0.67 GB/s stream ceiling
+)
+
+#: Intel 320 -- the low-end SATA drive (Table 1: 10 channels, 25 nm MLC;
+#: S3.1: 160 GB with 12.5% reserved).
+INTEL_320_SPEC = ConventionalSSDSpec(
+    name="intel-320",
+    n_channels=10,
+    chips_per_channel=2,
+    geometry=INTEL_320_CHIP_GEOMETRY,
+    timing=INTEL_25NM_MLC,
+    link=SATA_2_0,
+    iostack=KERNEL_IO_STACK,
+    op_ratio=0.125,
+    stripe_pages=1,
+    parity_group_size=10,
+    dram_buffer_bytes=64 << 20,
+    controller_request_ns=11_800,
+    controller_read_ns_per_page=36_400,  # -> ~0.22 GB/s stream ceiling
+    controller_write_ns_per_page=63_000,  # -> ~0.13 GB/s stream ceiling
+)
+
+#: Memblaze Q520-class high-end PCIe drive (Table 1: 32 channels x 16
+#: planes of 34 nm MLC, raw 1600/1500 MB/s, measured 1300/620).
+MEMBLAZE_Q520_SPEC = ConventionalSSDSpec(
+    name="memblaze-q520",
+    n_channels=32,
+    chips_per_channel=4,
+    geometry=HIGH_END_CHIP_GEOMETRY,
+    timing=MICRON_34NM_MLC,
+    link=PCIE_1_1_X8,
+    iostack=KERNEL_IO_STACK,
+    op_ratio=0.20,
+    stripe_pages=2,  # 8 KB striping with 4 KiB pages
+    parity_group_size=11,
+    dram_buffer_bytes=1 << 30,
+    controller_request_ns=2_000,
+    controller_read_ns_per_page=3_100,  # -> ~1.3 GB/s stream ceiling
+    controller_write_ns_per_page=6_600,  # -> ~0.62 GB/s stream ceiling
+)
+
+
+def sdf_spec() -> dict:
+    """The Baidu SDF configuration (Table 3), as keyword arguments."""
+    return dict(
+        n_channels=44,
+        chips_per_channel=2,
+        geometry=SDF_CHIP_GEOMETRY,
+        timing=MICRON_25NM_MLC,
+        link_spec=PCIE_1_1_X8,
+    )
+
+
+def build_sdf(
+    sim: Simulator,
+    capacity_scale: float = 1.0,
+    n_channels: int = 44,
+    rng: Optional[np.random.Generator] = None,
+    **overrides,
+) -> SDFDevice:
+    """A Baidu SDF, optionally with scaled-down capacity for fast runs.
+
+    ``capacity_scale`` shrinks ``blocks_per_plane`` only; page/block
+    sizes and timing -- everything bandwidth depends on -- are untouched.
+    """
+    kwargs = sdf_spec()
+    kwargs["geometry"] = kwargs["geometry"].scaled(capacity_scale)
+    kwargs["n_channels"] = n_channels
+    kwargs.update(overrides)
+    return SDFDevice(sim, rng=rng, **kwargs)
+
+
+def build_conventional(
+    sim: Simulator,
+    spec: ConventionalSSDSpec = HUAWEI_GEN3_SPEC,
+    capacity_scale: float = 1.0,
+    store_data: bool = False,
+) -> ConventionalSSD:
+    """A commodity baseline, optionally with scaled-down capacity."""
+    if capacity_scale != 1.0:
+        spec = spec.scaled(capacity_scale)
+    return ConventionalSSD(sim, spec, store_data=store_data)

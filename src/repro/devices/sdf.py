@@ -1,0 +1,239 @@
+"""The SDF device (paper Figure 2/5b).
+
+An :class:`SDFDevice` bundles:
+
+* one :class:`~repro.ftl.block_ftl.ChannelBlockFTL` and one
+  :class:`~repro.channel.engine.ChannelEngine` per channel;
+* a shared PCIe link and interrupt coalescer;
+* the ultra-thin user-space I/O stack.
+
+Each channel is exposed to software as an independent
+:class:`SDFChannelDevice` (``/dev/sda0`` .. ``/dev/sda43``) with the
+asymmetric interface: reads at 8 KB page granularity, writes and erases
+at the 8 MB logical-block granularity, erase as an explicit host
+command.
+
+All operation methods are *generators* meant to run inside simulation
+processes::
+
+    payloads = yield from device.channels[3].read(block, 0, n_pages=2)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.engine import ChannelEngine, build_engines
+from repro.devices.base import DeviceStats
+from repro.ftl.block_ftl import ChannelBlockFTL
+from repro.ftl.ops import OpKind
+from repro.interfaces.interrupts import InterruptCoalescer
+from repro.interfaces.iostack import IOStackModel, SDF_USER_SPACE_STACK
+from repro.interfaces.link import HostLink, LinkSpec, PCIE_1_1_X8
+from repro.nand.array import FlashArray
+from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+from repro.sim import AllOf, Container, Simulator
+
+
+class SDFChannelDevice:
+    """One exposed channel: an independent block device."""
+
+    def __init__(self, device: "SDFDevice", channel: int):
+        self.device = device
+        self.channel = channel
+        self.ftl: ChannelBlockFTL = device.ftls[channel]
+        self.engine: ChannelEngine = device.engines[channel]
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def n_logical_blocks(self) -> int:
+        """Logical (8 MB) blocks exposed by this channel."""
+        return self.ftl.n_logical_blocks
+
+    @property
+    def logical_block_bytes(self) -> int:
+        """Bytes in one logical block."""
+        return self.ftl.logical_block_bytes
+
+    @property
+    def pages_per_logical_block(self) -> int:
+        """Pages in one logical block."""
+        return self.ftl.pages_per_logical_block
+
+    @property
+    def page_size(self) -> int:
+        """Bytes in one flash page."""
+        return self.device.array.geometry.page_size
+
+    # -- timed operations (generators) ----------------------------------------------
+    def read(self, logical_block: int, page_offset: int = 0, n_pages: int = 1):
+        """Read ``n_pages`` 8 KB pages; returns the list of payloads.
+
+        Pages stream up the PCIe link as they come off the channel bus
+        (the board's DDR3 staging buffers decouple the two), so the DMA
+        overlaps the flash reads instead of trailing them.
+        """
+        device = self.device
+        sim = device.sim
+        start = sim.now
+        yield sim.timeout(device.iostack.submit_ns)
+        payloads, ops = self.ftl.read(logical_block, page_offset, n_pages)
+        if ops:
+            page_size = self.page_size
+
+            def page_read(op):
+                yield from self.engine.execute(op)
+                yield from device.link.transfer("read", page_size)
+
+            workers = [sim.process(page_read(op)) for op in ops]
+            yield AllOf(sim, workers)
+        nbytes = n_pages * self.page_size
+        yield sim.timeout(device.interrupts.on_completion())
+        yield sim.timeout(device.iostack.complete_ns)
+        device.stats.note_read(sim.now, nbytes, sim.now - start)
+        return payloads
+
+    def write(self, logical_block: int, pages: Optional[Sequence] = None):
+        """Write one full 8 MB logical block.
+
+        ``pages`` must supply every page payload (or None for a sized
+        placeholder write, the common case in performance runs).
+        """
+        device = self.device
+        sim = device.sim
+        start = sim.now
+        if pages is None:
+            pages = [None] * self.pages_per_logical_block
+        yield sim.timeout(device.iostack.submit_ns)
+        nbytes = len(pages) * self.page_size
+        ops = self.ftl.write(logical_block, pages)
+        page_size = self.page_size
+        # Bounded streaming window: the DDR3 staging buffer holds a few
+        # pages ahead of the flash programs, so one request cannot hog
+        # the PCIe link far in advance of what its planes can absorb.
+        window = Container(sim, capacity=16, init=16)
+
+        def page_write(op):
+            yield window.get(1)
+            yield from device.link.transfer("write", page_size)
+            yield from self.engine.execute(op)
+            yield window.put(1)
+
+        workers = [sim.process(page_write(op)) for op in ops]
+        yield AllOf(sim, workers)
+        yield sim.timeout(device.interrupts.on_completion())
+        yield sim.timeout(device.iostack.complete_ns)
+        device.stats.note_write(sim.now, nbytes, sim.now - start)
+
+    def erase(self, logical_block: int):
+        """The explicit erase command (S2.3)."""
+        device = self.device
+        sim = device.sim
+        start = sim.now
+        yield sim.timeout(device.iostack.submit_ns)
+        ops = self.ftl.erase(logical_block)
+        yield from self.engine.execute_all(ops)
+        yield sim.timeout(device.interrupts.on_completion())
+        yield sim.timeout(device.iostack.complete_ns)
+        device.stats.note_erase(sim.now, sim.now - start)
+
+    def write_fresh(self, logical_block: int, pages: Optional[Sequence] = None):
+        """Erase-if-mapped then write: the host-side write discipline."""
+        if self.ftl.is_mapped(logical_block):
+            yield from self.erase(logical_block)
+        yield from self.write(logical_block, pages)
+
+    def __repr__(self):
+        return f"SDFChannelDevice(/dev/sda{self.channel})"
+
+
+class SDFDevice:
+    """The full 44-channel SDF board."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_channels: int = 44,
+        chips_per_channel: int = 2,
+        geometry: FlashGeometry = SDF_CHIP_GEOMETRY,
+        timing: NandTiming = MICRON_25NM_MLC,
+        link_spec: LinkSpec = PCIE_1_1_X8,
+        iostack: IOStackModel = SDF_USER_SPACE_STACK,
+        reserve_fraction: float = 0.01,
+        priorities: Optional[Dict[OpKind, int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        factory_bad_rate: float = 0.0,
+        endurance: Optional[int] = None,
+        name: str = "sdf",
+    ):
+        self.sim = sim
+        self.array = FlashArray(
+            channels=n_channels,
+            chips_per_channel=chips_per_channel,
+            geometry=geometry,
+            timing=timing,
+            rng=rng,
+            factory_bad_rate=factory_bad_rate,
+            endurance=endurance,
+        )
+        self.ftls: List[ChannelBlockFTL] = [
+            ChannelBlockFTL(self.array, channel, reserve_fraction)
+            for channel in range(n_channels)
+        ]
+        self.engines = build_engines(
+            sim, n_channels, geometry, timing, chips_per_channel, priorities
+        )
+        self.link = HostLink(sim, link_spec)
+        self.iostack = iostack
+        self.interrupts = InterruptCoalescer(sim)
+        self.stats = DeviceStats(name)
+        self.channels: List[SDFChannelDevice] = [
+            SDFChannelDevice(self, channel) for channel in range(n_channels)
+        ]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels."""
+        return len(self.channels)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Raw flash capacity in bytes."""
+        return self.array.raw_bytes
+
+    @property
+    def user_bytes(self) -> int:
+        """Capacity exposed to software (the paper's ~99% of raw)."""
+        return sum(ftl.capacity_bytes for ftl in self.ftls)
+
+    @property
+    def capacity_utilization(self) -> float:
+        """user bytes / raw bytes."""
+        return self.user_bytes / self.raw_bytes
+
+    def prefill(self, fraction: float = 1.0, payload=None) -> int:
+        """Functionally fill a fraction of every channel (no simulated
+        time): used to start experiments on an 'almost full' device as
+        in Figure 8.  Returns the number of logical blocks written."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        written = 0
+        for ftl in self.ftls:
+            n_blocks = int(ftl.n_logical_blocks * fraction)
+            pages = [payload] * ftl.pages_per_logical_block
+            for block in range(n_blocks):
+                if not ftl.is_mapped(block):
+                    ftl.write(block, pages)
+                    written += 1
+        return written
+
+    def __repr__(self):
+        return (
+            f"SDFDevice(channels={self.n_channels}, "
+            f"raw={self.raw_bytes / 2**30:.0f} GiB, "
+            f"user={self.user_bytes / 2**30:.0f} GiB)"
+        )

@@ -1,0 +1,210 @@
+"""A working binary BCH codec.
+
+Systematic encoding and full algebraic decoding: syndrome computation,
+Berlekamp-Massey for the error-locator polynomial, Chien search for the
+error positions.  Codewords are lists of bits where index ``i`` is the
+coefficient of ``x^i``.
+
+This is the same construction NAND controllers (including the SDF's
+Spartan-6 BCH block) implement in hardware; Python makes it slow but the
+algebra is identical.  Timed simulations use
+:class:`repro.ecc.model.EccModel` instead and fall back to this codec
+only in functional tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ecc.gf import GF2m
+
+
+class UncorrectableError(Exception):
+    """More errors than the code can correct (decoder detected failure)."""
+
+
+def _cyclotomic_coset(i: int, n: int) -> List[int]:
+    """The 2-cyclotomic coset of i modulo n: {i, 2i, 4i, ...}."""
+    coset = []
+    current = i % n
+    while current not in coset:
+        coset.append(current)
+        current = (current * 2) % n
+    return coset
+
+
+class BCHCode:
+    """Binary BCH code of length ``n = 2^m - 1`` correcting ``t`` errors."""
+
+    def __init__(self, m: int, t: int, field: GF2m | None = None):
+        if t < 1:
+            raise ValueError(f"t must be >= 1, got {t}")
+        self.field = field if field is not None else GF2m(m)
+        if self.field.m != m:
+            raise ValueError("field degree does not match m")
+        self.m = m
+        self.t = t
+        self.n = self.field.n
+        self.generator = self._build_generator()
+        self.k = self.n - (len(self.generator) - 1)
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={m}, t={t}) has no data capacity (k={self.k})"
+            )
+
+    def _build_generator(self) -> List[int]:
+        """g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}."""
+        gf = self.field
+        covered: set = set()
+        generator = [1]
+        for i in range(1, 2 * self.t + 1):
+            if i % self.n in covered:
+                continue
+            coset = _cyclotomic_coset(i, self.n)
+            covered.update(coset)
+            # Minimal polynomial: product over the coset of (x - alpha^j).
+            minimal = [1]
+            for j in coset:
+                minimal = gf.poly_mul(minimal, [gf.exp(j), 1])
+            # Coefficients of a minimal polynomial lie in GF(2).
+            if any(coeff not in (0, 1) for coeff in minimal):
+                raise AssertionError(
+                    "minimal polynomial has non-binary coefficients "
+                    "(primitive polynomial is wrong)"
+                )
+            generator = gf.poly_mul(generator, minimal)
+        return generator
+
+    # -- encoding ------------------------------------------------------------------
+    @property
+    def parity_bits(self) -> int:
+        """Number of parity bits (n - k)."""
+        return self.n - self.k
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Systematic encode: ``k`` message bits -> ``n``-bit codeword.
+
+        Codeword layout: positions ``0 .. n-k-1`` are parity, positions
+        ``n-k .. n-1`` carry the message (coefficient order).
+        """
+        if len(message) != self.k:
+            raise ValueError(f"message must be {self.k} bits, got {len(message)}")
+        if any(bit not in (0, 1) for bit in message):
+            raise ValueError("message bits must be 0 or 1")
+        shift = self.parity_bits
+        # remainder of m(x) * x^(n-k) divided by g(x), all over GF(2).
+        dividend = [0] * shift + list(message)
+        remainder = self._gf2_mod(dividend, self.generator)
+        codeword = remainder + [0] * (self.n - shift)
+        for idx, bit in enumerate(message):
+            codeword[shift + idx] = bit
+        return codeword
+
+    @staticmethod
+    def _gf2_mod(dividend: List[int], divisor: List[int]) -> List[int]:
+        """Remainder of polynomial division over GF(2), len = deg(divisor)."""
+        out = list(dividend)
+        deg_div = len(divisor) - 1
+        for idx in range(len(out) - 1, deg_div - 1, -1):
+            if out[idx]:
+                for j, coeff in enumerate(divisor):
+                    if coeff:
+                        out[idx - deg_div + j] ^= 1
+        return out[:deg_div]
+
+    def extract_message(self, codeword: Sequence[int]) -> List[int]:
+        """Recover the message bits from a (corrected) codeword."""
+        if len(codeword) != self.n:
+            raise ValueError(f"codeword must be {self.n} bits")
+        return list(codeword[self.parity_bits :])
+
+    # -- decoding ------------------------------------------------------------------
+    def syndromes(self, received: Sequence[int]) -> List[int]:
+        """S_j = r(alpha^j) for j = 1 .. 2t."""
+        gf = self.field
+        result = []
+        for j in range(1, 2 * self.t + 1):
+            value = 0
+            for position, bit in enumerate(received):
+                if bit:
+                    value ^= gf.exp(j * position)
+            result.append(value)
+        return result
+
+    def _berlekamp_massey(self, synd: List[int]) -> List[int]:
+        """Error-locator polynomial sigma(x) from the syndromes."""
+        gf = self.field
+        sigma = [1]
+        prev = [1]
+        length = 0
+        gap = 1
+        prev_discrepancy = 1
+        for step in range(2 * self.t):
+            discrepancy = synd[step]
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i] and synd[step - i]:
+                    discrepancy ^= gf.mul(sigma[i], synd[step - i])
+            if discrepancy == 0:
+                gap += 1
+                continue
+            coeff = gf.div(discrepancy, prev_discrepancy)
+            candidate = list(sigma)
+            shifted = [0] * gap + [gf.mul(coeff, c) for c in prev]
+            if len(shifted) > len(candidate):
+                candidate += [0] * (len(shifted) - len(candidate))
+            for i, value in enumerate(shifted):
+                candidate[i] ^= value
+            if 2 * length <= step:
+                prev = list(sigma)
+                prev_discrepancy = discrepancy
+                length = step + 1 - length
+                gap = 1
+            else:
+                gap += 1
+            sigma = candidate
+        # Trim trailing zeros.
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> List[int]:
+        """Positions i where sigma(alpha^{-i}) == 0."""
+        gf = self.field
+        positions = []
+        for i in range(self.n):
+            if gf.poly_eval(sigma, gf.exp(-i)) == 0:
+                positions.append(i)
+        return positions
+
+    def decode(self, received: Sequence[int]) -> List[int]:
+        """Correct up to ``t`` bit errors; return the corrected codeword.
+
+        Raises :class:`UncorrectableError` when the decoder detects more
+        errors than it can fix.
+        """
+        if len(received) != self.n:
+            raise ValueError(f"received word must be {self.n} bits")
+        synd = self.syndromes(received)
+        if not any(synd):
+            return list(received)
+        sigma = self._berlekamp_massey(synd)
+        n_errors = len(sigma) - 1
+        if n_errors > self.t:
+            raise UncorrectableError(
+                f"locator degree {n_errors} exceeds t={self.t}"
+            )
+        positions = self._chien_search(sigma)
+        if len(positions) != n_errors:
+            raise UncorrectableError(
+                f"locator degree {n_errors} but {len(positions)} roots found"
+            )
+        corrected = list(received)
+        for position in positions:
+            corrected[position] ^= 1
+        # Consistency check: the corrected word must be a codeword.
+        if any(self.syndromes(corrected)):
+            raise UncorrectableError("correction did not yield a codeword")
+        return corrected
+
+    def __repr__(self):
+        return f"BCHCode(n={self.n}, k={self.k}, t={self.t})"

@@ -1,0 +1,128 @@
+"""Arithmetic in the finite field GF(2^m) via exp/log tables."""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Default primitive polynomials (bitmask form, degree m) for small m.
+PRIMITIVE_POLYS = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with precomputed discrete-log tables."""
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if primitive_poly is None:
+            if m not in PRIMITIVE_POLYS:
+                raise ValueError(
+                    f"no default primitive polynomial for m={m}; pass one"
+                )
+            primitive_poly = PRIMITIVE_POLYS[m]
+        if primitive_poly >> m != 1:
+            raise ValueError(
+                f"primitive polynomial {primitive_poly:#b} must have degree {m}"
+            )
+        self.m = m
+        self.order = 1 << m  # field size q = 2^m
+        self.n = self.order - 1  # multiplicative group order
+        self.poly = primitive_poly
+        self._exp: List[int] = [0] * (2 * self.n)
+        self._log: List[int] = [0] * self.order
+        value = 1
+        for power in range(self.n):
+            if power > 0 and value == 1:
+                # alpha's order divides `power` < n: poly is not primitive.
+                raise ValueError(
+                    f"{primitive_poly:#b} is not primitive for m={m}"
+                )
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & self.order:
+                value ^= primitive_poly
+        if value != 1:
+            raise ValueError(f"{primitive_poly:#b} is not primitive for m={m}")
+        # Duplicate the table so exp() never needs an explicit mod.
+        for power in range(self.n, 2 * self.n):
+            self._exp[power] = self._exp[power - self.n]
+
+    # -- element-level operations ---------------------------------------------
+    def exp(self, power: int) -> int:
+        """alpha ** power (power may be any integer)."""
+        return self._exp[power % self.n]
+
+    def log(self, element: int) -> int:
+        """Discrete log base alpha; undefined (raises) for zero."""
+        if element == 0:
+            raise ValueError("log(0) is undefined")
+        if not 0 < element < self.order:
+            raise ValueError(f"{element} is not a field element")
+        return self._log[element]
+
+    def add(self, a: int, b: int) -> int:
+        """Addition == subtraction == XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.n]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self._exp[self.n - self._log[a]]
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Field exponentiation."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("0 ** negative")
+            return 0
+        return self._exp[(self._log[a] * exponent) % self.n]
+
+    # -- polynomial helpers (coefficient lists, index = power of x) -------------
+    def poly_eval(self, coeffs: List[int], x: int) -> int:
+        """Evaluate a polynomial (Horner) at ``x``."""
+        result = 0
+        for coeff in reversed(coeffs):
+            result = self.add(self.mul(result, x), coeff)
+        return result
+
+    def poly_mul(self, a: List[int], b: List[int]) -> List[int]:
+        """Product of two coefficient-list polynomials."""
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out
+
+    def __repr__(self):
+        return f"GF2m(m={self.m}, poly={self.poly:#b})"

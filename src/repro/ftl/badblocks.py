@@ -1,0 +1,47 @@
+"""Bad block management (the BBM module of each SDF channel engine).
+
+Tracks factory-bad and grown-bad physical blocks so the allocator never
+hands them out, and records the grown-bad history for reliability
+reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+class BadBlockManager:
+    """Registry of unusable physical blocks within one allocation domain."""
+
+    def __init__(self, factory_bad: Iterable[int] = ()):
+        self._factory_bad: Set[int] = set(factory_bad)
+        self._grown_bad: Set[int] = set()
+
+    def is_bad(self, block: int) -> bool:
+        """True when the block is unusable."""
+        return block in self._factory_bad or block in self._grown_bad
+
+    def mark_grown_bad(self, block: int) -> None:
+        """Retire a block that failed an erase/program in service."""
+        if block in self._factory_bad:
+            raise ValueError(f"block {block} was already factory-bad")
+        self._grown_bad.add(block)
+
+    @property
+    def factory_bad(self) -> List[int]:
+        """Sorted factory-bad block indices."""
+        return sorted(self._factory_bad)
+
+    @property
+    def grown_bad(self) -> List[int]:
+        """Sorted grown-bad block indices."""
+        return sorted(self._grown_bad)
+
+    @property
+    def n_bad(self) -> int:
+        """Total unusable blocks."""
+        return len(self._factory_bad) + len(self._grown_bad)
+
+    def usable(self, blocks: Iterable[int]) -> List[int]:
+        """Filter an iterable of block indices down to the good ones."""
+        return [block for block in blocks if not self.is_bad(block)]

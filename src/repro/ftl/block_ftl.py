@@ -1,0 +1,222 @@
+"""The SDF per-channel FTL engine (paper S2.1, Figure 4).
+
+Each of the 44 channels runs an independent engine providing:
+
+* **LA2PA** -- block-level logical-to-physical mapping.  The logical
+  unit is the 8 MB *write block*: one 2 MB erase block on each of the
+  channel's four planes, striped 2 MB per plane (S2.3).
+* **DWL** -- dynamic wear leveling: fresh blocks are allocated from a
+  per-plane min-erase-count pool.
+* **BBM** -- bad block management: factory-bad and grown-bad blocks are
+  retired and never allocated.
+
+There is deliberately **no garbage collection, no static wear leveling
+and no parity**: the host must erase a logical block before rewriting
+it, so write amplification is exactly 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ftl.badblocks import BadBlockManager
+from repro.ftl.mapping import BlockMapping
+from repro.ftl.ops import FlashOp, erase_op, program_op, read_op
+from repro.ftl.wear import FreeBlockPool
+from repro.nand.array import FlashArray, PhysicalAddress
+from repro.ftl.page_ftl import OutOfSpaceError
+
+
+class EraseBeforeWriteError(Exception):
+    """Write to a logical block that has not been erased (paper S2.3)."""
+
+
+class ChannelBlockFTL:
+    """One channel's block-mapped FTL engine."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        channel: int,
+        reserve_fraction: float = 0.01,
+    ):
+        if not 0 <= channel < array.n_channels:
+            raise IndexError(f"channel {channel} outside the array")
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction outside [0, 1)")
+        self.array = array
+        self.channel = channel
+        geo = array.geometry
+        self.n_planes = array.planes_per_channel
+        self.pages_per_logical_block = self.n_planes * geo.pages_per_block
+        self.logical_block_bytes = self.pages_per_logical_block * geo.page_size
+
+        # Discover factory-bad blocks and build per-plane pools.
+        self._pools: List[FreeBlockPool] = []
+        self._bbm: List[BadBlockManager] = []
+        min_usable = geo.blocks_per_plane
+        for plane_index in range(self.n_planes):
+            chip, plane = self._chip_plane(plane_index)
+            bad = [
+                block
+                for block in range(geo.blocks_per_plane)
+                if array.is_bad(PhysicalAddress(channel, chip, plane, block))
+            ]
+            self._bbm.append(BadBlockManager(factory_bad=bad))
+            good = [
+                block for block in range(geo.blocks_per_plane) if block not in set(bad)
+            ]
+            min_usable = min(min_usable, len(good))
+            self._pools.append(FreeBlockPool(good))
+
+        self.n_logical_blocks = int(min_usable * (1.0 - reserve_fraction))
+        if self.n_logical_blocks < 1:
+            raise ValueError("no usable logical blocks on this channel")
+        self.mapping = BlockMapping(self.n_logical_blocks)
+
+        self.host_reads = 0
+        self.host_programs = 0
+        self.erase_count = 0
+
+    # -- geometry helpers ----------------------------------------------------------
+    def _chip_plane(self, plane_index: int) -> Tuple[int, int]:
+        per_chip = self.array.geometry.planes_per_chip
+        return plane_index // per_chip, plane_index % per_chip
+
+    def _address(
+        self, plane_index: int, block: int, page: int = 0
+    ) -> PhysicalAddress:
+        chip, plane = self._chip_plane(plane_index)
+        return PhysicalAddress(self.channel, chip, plane, block, page)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity exposed to the host (99% of raw by default)."""
+        return self.n_logical_blocks * self.logical_block_bytes
+
+    @property
+    def write_amplification(self) -> float:
+        """Always 1.0: the engine never issues internal programs."""
+        return 1.0
+
+    # -- operations -------------------------------------------------------------------
+    def write(self, logical_block: int, pages: Sequence) -> List[FlashOp]:
+        """Write one full logical block (8 MB: all pages, stripe order).
+
+        ``pages[i]`` lands on plane ``i // pages_per_block`` at page
+        offset ``i % pages_per_block`` -- the 2 MB-per-plane striping of
+        S2.3.  The logical block must be unmapped (never written, or
+        erased since).
+        """
+        if len(pages) != self.pages_per_logical_block:
+            raise ValueError(
+                f"SDF write unit is the full logical block "
+                f"({self.pages_per_logical_block} pages); got {len(pages)}"
+            )
+        if self.mapping.is_mapped(logical_block):
+            raise EraseBeforeWriteError(
+                f"logical block {logical_block} must be erased before rewrite"
+            )
+        physical = self._allocate_group()
+        self.mapping.map(logical_block, physical)
+        geo = self.array.geometry
+        ops: List[FlashOp] = []
+        # Program in plane-interleaved order (page 0 of every plane, then
+        # page 1, ...) so the shared channel bus feeds all four planes
+        # from the start -- the stripe layout itself is unchanged.
+        for page in range(geo.pages_per_block):
+            for plane_index in range(self.n_planes):
+                index = plane_index * geo.pages_per_block + page
+                payload = pages[index]
+                addr = self._address(plane_index, physical[plane_index], page)
+                self.array.program_page(addr, payload)
+                self.host_programs += 1
+                ops.append(program_op(addr, geo.page_size))
+        return ops
+
+    def read(
+        self, logical_block: int, page_offset: int, n_pages: int = 1
+    ) -> Tuple[List, List[FlashOp]]:
+        """Read ``n_pages`` 8 KB pages starting at ``page_offset``."""
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        if not 0 <= page_offset < self.pages_per_logical_block:
+            raise IndexError(f"page_offset {page_offset} out of range")
+        if page_offset + n_pages > self.pages_per_logical_block:
+            raise IndexError("read crosses the logical block boundary")
+        physical = self.mapping.lookup(logical_block)
+        if physical is None:
+            return [None] * n_pages, []
+        geo = self.array.geometry
+        payloads: List = []
+        ops: List[FlashOp] = []
+        for index in range(page_offset, page_offset + n_pages):
+            plane_index = index // geo.pages_per_block
+            page = index % geo.pages_per_block
+            addr = self._address(plane_index, physical[plane_index], page)
+            payloads.append(self.array.read_page(addr))
+            self.host_reads += 1
+            ops.append(read_op(addr, geo.page_size))
+        return payloads, ops
+
+    def erase(self, logical_block: int) -> List[FlashOp]:
+        """Host-initiated erase: the new command SDF exposes (S2.3).
+
+        Erases the logical block's physical blocks, returns them to the
+        wear-leveling pools, and unmaps the logical block.  Blocks that
+        wear out during the erase are retired via BBM instead.
+        """
+        physical = self.mapping.unmap(logical_block)
+        ops: List[FlashOp] = []
+        for plane_index, block in enumerate(physical):
+            addr = self._address(plane_index, block)
+            self.array.erase_block(addr)
+            self.erase_count += 1
+            ops.append(erase_op(addr))
+            if self.array.is_bad(addr):
+                self._bbm[plane_index].mark_grown_bad(block)
+                self._pools[plane_index].retire(block)
+            else:
+                self._pools[plane_index].release(block)
+        return ops
+
+    def is_mapped(self, logical_block: int) -> bool:
+        """True when the logical block currently holds data."""
+        return self.mapping.is_mapped(logical_block)
+
+    # -- allocation ---------------------------------------------------------------------
+    def _allocate_group(self) -> Tuple[int, ...]:
+        """One min-wear free block per plane."""
+        group: List[int] = []
+        for plane_index, pool in enumerate(self._pools):
+            try:
+                group.append(pool.allocate())
+            except IndexError:
+                # Roll back planes already taken.
+                for taken_plane, taken in enumerate(group):
+                    self._pools[taken_plane].release(taken, erased=False)
+                raise OutOfSpaceError(
+                    f"channel {self.channel} plane {plane_index} has no "
+                    "free blocks (host must erase before writing)"
+                )
+        return tuple(group)
+
+    # -- introspection ---------------------------------------------------------------------
+    def free_logical_blocks(self) -> int:
+        """Logical blocks writable without an erase."""
+        return min(len(pool) for pool in self._pools)
+
+    def wear_spread(self) -> int:
+        """max - min erase count across the pools."""
+        return max(pool.wear_spread() for pool in self._pools)
+
+    def grown_bad_blocks(self) -> int:
+        """Blocks retired in service (not factory-bad)."""
+        return sum(len(bbm.grown_bad) for bbm in self._bbm)
+
+    def __repr__(self):
+        return (
+            f"ChannelBlockFTL(channel={self.channel}, "
+            f"logical_blocks={self.n_logical_blocks}, "
+            f"mapped={self.mapping.mapped_count})"
+        )

@@ -1,0 +1,35 @@
+"""Garbage-collection victim selection.
+
+The conventional-SSD baseline uses the classic greedy policy: reclaim
+the sealed block with the fewest valid pages (cheapest to relocate).
+SDF has no GC at all -- that asymmetry *is* the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class GreedyGarbageCollector:
+    """Greedy victim selection over per-block valid-page counts."""
+
+    def __init__(self):
+        self.victims_selected = 0
+
+    def select_victim(
+        self, valid_counts: np.ndarray, candidates: Iterable[int]
+    ) -> Optional[int]:
+        """The candidate block with the fewest valid pages, or None.
+
+        ``valid_counts`` is indexed by flat block number (as maintained
+        by :class:`repro.ftl.mapping.PageMapping`).
+        """
+        candidate_list = list(candidates)
+        if not candidate_list:
+            return None
+        index = np.asarray(candidate_list, dtype=np.int64)
+        victim = int(index[np.argmin(valid_counts[index])])
+        self.victims_selected += 1
+        return victim

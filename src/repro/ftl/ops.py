@@ -1,0 +1,53 @@
+"""Physical flash operation records.
+
+Functional FTL calls return lists of :class:`FlashOp` describing exactly
+which physical reads/programs/erases happened.  The timed device layer
+replays these against channel engines to charge simulated time, and
+tests use them to assert write-amplification behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.nand.array import PhysicalAddress
+
+
+class OpKind(Enum):
+    """The three physical flash operations."""
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class FlashOp:
+    """One physical flash operation."""
+
+    kind: OpKind
+    address: PhysicalAddress
+    nbytes: int = 0  # payload moved over the channel bus (0 for erase)
+    #: True when the op was internal housekeeping (GC movement, wear
+    #: leveling migration) rather than directly serving a host request.
+    internal: bool = False
+
+    @property
+    def channel(self) -> int:
+        """Channel this op targets."""
+        return self.address.channel
+
+
+def read_op(addr: PhysicalAddress, nbytes: int, internal=False) -> FlashOp:
+    """Construct a page-read op."""
+    return FlashOp(OpKind.READ, addr, nbytes, internal)
+
+
+def program_op(addr: PhysicalAddress, nbytes: int, internal=False) -> FlashOp:
+    """Construct a page-program op."""
+    return FlashOp(OpKind.PROGRAM, addr, nbytes, internal)
+
+
+def erase_op(addr: PhysicalAddress, internal=False) -> FlashOp:
+    """Construct a block-erase op."""
+    return FlashOp(OpKind.ERASE, addr, 0, internal)

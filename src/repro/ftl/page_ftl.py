@@ -1,0 +1,309 @@
+"""The conventional SSD's page-mapped, log-structured FTL.
+
+This is the paper's baseline architecture (Figure 5a): one FTL spans
+every channel, the logical address space is **striped across channels in
+small units** (8 KB for the Huawei Gen3), writes go to per-plane append
+frontiers, and a greedy garbage collector relocates valid pages when
+free blocks run low.  Over-provisioned space (the paper's Figure 1
+variable) and optional RAID-5-style channel parity (S2.2) are both
+modeled.
+
+Every logical operation returns the physical :class:`~repro.ftl.ops.FlashOp`
+list it generated so the timed device layer can charge time and tests
+can assert write amplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ftl.gc import GreedyGarbageCollector
+from repro.ftl.mapping import PageMapping
+from repro.ftl.ops import FlashOp, erase_op, program_op, read_op
+from repro.ftl.wear import FreeBlockPool
+from repro.nand.array import FlashArray, PhysicalAddress
+
+
+class OutOfSpaceError(Exception):
+    """The FTL ran out of physical space (GC could not keep up)."""
+
+
+class PageFTL:
+    """Page-mapped FTL with striping, over-provisioning, GC and parity."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        op_ratio: float = 0.25,
+        stripe_pages: int = 1,
+        parity_group_size: Optional[int] = None,
+        gc_free_blocks: Optional[int] = None,
+        store_data: bool = True,
+    ):
+        if not 0.0 <= op_ratio < 1.0:
+            raise ValueError(f"op_ratio {op_ratio} outside [0, 1)")
+        if stripe_pages < 1:
+            raise ValueError("stripe_pages must be >= 1")
+        if parity_group_size is not None and parity_group_size < 2:
+            raise ValueError("parity_group_size must be >= 2 (n-1 data + 1)")
+        if gc_free_blocks is None:
+            # GC relocation may open one fresh frontier per plane before
+            # the victim's erase returns a block, so keep that much
+            # headroom (plus slack) per channel.
+            gc_free_blocks = (
+                array.chips_per_channel * array.geometry.planes_per_chip + 2
+            )
+        if gc_free_blocks < 1:
+            raise ValueError("gc_free_blocks must be >= 1")
+        self.array = array
+        self.op_ratio = op_ratio
+        self.stripe_pages = stripe_pages
+        self.parity_group_size = parity_group_size
+        self.gc_free_blocks = gc_free_blocks
+        self.store_data = store_data
+        self.gc_policy = GreedyGarbageCollector()
+
+        geo = array.geometry
+        self._data_channels, self._parity_channels = self._split_channels()
+        data_pages = (
+            len(self._data_channels)
+            * array.planes_per_channel
+            * geo.blocks_per_plane
+            * geo.pages_per_block
+        )
+        self.user_pages = int(data_pages * (1.0 - op_ratio))
+        if self.user_pages < 1:
+            raise ValueError("configuration leaves no user capacity")
+
+        self.mapping = PageMapping(
+            n_lpns=self.user_pages,
+            n_ppns=array.n_pages,
+            pages_per_block=geo.pages_per_block,
+        )
+        # Per-(channel, plane) free pools, so every plane keeps its own
+        # append frontier busy (4-plane program parallelism).
+        self._pools: Dict[Tuple[int, int], FreeBlockPool] = {}
+        for channel in range(array.n_channels):
+            plane_index = 0
+            for chip in range(array.chips_per_channel):
+                for plane in range(geo.planes_per_chip):
+                    blocks = [
+                        array.flat_block(
+                            PhysicalAddress(channel, chip, plane, block)
+                        )
+                        for block in range(geo.blocks_per_plane)
+                    ]
+                    self._pools[(channel, plane_index)] = FreeBlockPool(blocks)
+                    plane_index += 1
+        # (channel, plane_index) -> [flat_block, next_page] append frontier.
+        self._frontiers: Dict[Tuple[int, int], List[int]] = {}
+        self._plane_rr: Dict[int, int] = {c: 0 for c in range(array.n_channels)}
+        self._sealed: Dict[int, Set[int]] = {
+            c: set() for c in range(array.n_channels)
+        }
+        # Parity bookkeeping: programs since last parity write, per group.
+        self._parity_pending: Dict[int, int] = {}
+        self._parity_rr: Dict[int, int] = {}
+
+        # Statistics.
+        self.user_programs = 0
+        self.gc_programs = 0
+        self.parity_programs = 0
+        self.gc_reads = 0
+        self.erases = 0
+        self.gc_runs = 0
+
+    # -- layout -------------------------------------------------------------------
+    def _split_channels(self) -> Tuple[List[int], List[int]]:
+        """Partition channels into data and parity sets."""
+        n = self.array.n_channels
+        if self.parity_group_size is None:
+            return list(range(n)), []
+        group = self.parity_group_size
+        data, parity = [], []
+        for channel in range(n):
+            if channel % group == group - 1:
+                parity.append(channel)
+            else:
+                data.append(channel)
+        if not data:
+            raise ValueError("parity grouping left no data channels")
+        return data, parity
+
+    @property
+    def user_bytes(self) -> int:
+        """Bytes of user-visible capacity."""
+        return self.user_pages * self.array.geometry.page_size
+
+    def channel_of_lpn(self, lpn: int) -> int:
+        """Striping: which channel serves this logical page."""
+        stripe_index = lpn // self.stripe_pages
+        return self._data_channels[stripe_index % len(self._data_channels)]
+
+    # -- public operations ------------------------------------------------------------
+    def write(self, lpn: int, data=None) -> List[FlashOp]:
+        """Write one logical page; returns every physical op performed
+        (including any GC and parity traffic it triggered)."""
+        self._check_lpn(lpn)
+        channel = self.channel_of_lpn(lpn)
+        ops: List[FlashOp] = []
+        ops.extend(self._ensure_free_space(channel))
+        addr = self._append(channel, lpn, data)
+        self.user_programs += 1
+        ops.append(program_op(addr, self.array.geometry.page_size))
+        ops.extend(self._maybe_write_parity(channel))
+        return ops
+
+    def read(self, lpn: int) -> Tuple[object, List[FlashOp]]:
+        """Read one logical page; (payload, physical ops)."""
+        self._check_lpn(lpn)
+        ppn = self.mapping.lookup(lpn)
+        if ppn is None:
+            return None, []
+        addr = self.array.unpack_ppn(ppn)
+        data = self.array.read_page(addr)
+        return data, [read_op(addr, self.array.geometry.page_size)]
+
+    def trim(self, lpn: int) -> None:
+        """Drop the mapping for a logical page (TRIM)."""
+        self._check_lpn(lpn)
+        self.mapping.unmap(lpn)
+
+    # -- statistics ---------------------------------------------------------------------
+    @property
+    def total_programs(self) -> int:
+        """Page programs across every chip."""
+        return self.user_programs + self.gc_programs + self.parity_programs
+
+    @property
+    def write_amplification(self) -> float:
+        """(all programs) / (user programs); 1.0 is the ideal."""
+        if self.user_programs == 0:
+            return 1.0
+        return self.total_programs / self.user_programs
+
+    def free_blocks(self, channel: int) -> int:
+        """Free physical blocks on the channel."""
+        return sum(
+            len(self._pools[(channel, plane)])
+            for plane in range(self.array.planes_per_channel)
+        )
+
+    # -- internals ------------------------------------------------------------------------
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.user_pages:
+            raise IndexError(f"lpn {lpn} outside [0, {self.user_pages})")
+
+    def _append(self, channel: int, lpn: int, data) -> PhysicalAddress:
+        """Program the next page of the channel's rotating plane frontier."""
+        addr, flat_block, page = self._next_slot(channel)
+        self.array.program_page(addr, data if self.store_data else None)
+        self.mapping.map(lpn, flat_block * self.array.geometry.pages_per_block + page)
+        return addr
+
+    def _next_slot(self, channel: int) -> Tuple[PhysicalAddress, int, int]:
+        """Advance the channel's round-robin plane frontier by one page."""
+        geo = self.array.geometry
+        planes = self.array.planes_per_channel
+        plane_index = self._plane_rr[channel] % planes
+        self._plane_rr[channel] += 1
+        key = (channel, plane_index)
+        frontier = self._frontiers.get(key)
+        if frontier is None or frontier[1] >= geo.pages_per_block:
+            if frontier is not None:
+                self._sealed[channel].add(frontier[0])
+            frontier = [self._allocate_block(channel, plane_index), 0]
+            self._frontiers[key] = frontier
+        flat_block, page = frontier
+        frontier[1] += 1
+        addr = self.array.unpack_block(flat_block).with_page(page)
+        return addr, flat_block, page
+
+    def _allocate_block(self, channel: int, plane_index: int) -> int:
+        """A fresh block for the given frontier, preferring its own
+        plane (keeps all planes programming in parallel) and stealing
+        from the fullest sibling pool when the plane is exhausted."""
+        pool = self._pools[(channel, plane_index)]
+        if len(pool) > 0:
+            return pool.allocate()
+        richest = max(
+            (
+                self._pools[(channel, plane)]
+                for plane in range(self.array.planes_per_channel)
+            ),
+            key=len,
+        )
+        if len(richest) == 0:
+            raise OutOfSpaceError(f"channel {channel} has no free blocks")
+        return richest.allocate()
+
+    def _ensure_free_space(self, channel: int) -> List[FlashOp]:
+        """Run greedy GC on a channel until it has breathing room."""
+        ops: List[FlashOp] = []
+        pages_per_block = self.array.geometry.pages_per_block
+        while self.free_blocks(channel) < self.gc_free_blocks:
+            victim = self.gc_policy.select_victim(
+                self.mapping.valid_counts, self._sealed[channel]
+            )
+            if victim is not None and (
+                self.mapping.valid_count(victim) >= pages_per_block
+            ):
+                # Every candidate is fully valid: GC cannot reclaim
+                # anything, so collecting would only shuffle data forever.
+                victim = None
+            if victim is None:
+                # Nothing reclaimable right now.  The write itself may
+                # still fit in an open frontier; if it truly needs a
+                # fresh block, _allocate_block raises OutOfSpaceError.
+                break
+            ops.extend(self._collect_block(channel, victim))
+        return ops
+
+    def _collect_block(self, channel: int, victim: int) -> List[FlashOp]:
+        """Relocate a victim block's valid pages, erase it, free it."""
+        geo = self.array.geometry
+        ops: List[FlashOp] = []
+        self.gc_runs += 1
+        self._sealed[channel].discard(victim)
+        for ppn, lpn in self.mapping.valid_lpns_in_block(victim):
+            src = self.array.unpack_ppn(ppn)
+            data = self.array.read_page(src)
+            self.gc_reads += 1
+            ops.append(read_op(src, geo.page_size, internal=True))
+            dst, flat_block, page = self._next_slot(channel)
+            self.array.program_page(dst, data)
+            self.gc_programs += 1
+            self.mapping.map(lpn, flat_block * geo.pages_per_block + page)
+            ops.append(program_op(dst, geo.page_size, internal=True))
+        victim_addr = self.array.unpack_block(victim)
+        self.array.erase_block(victim_addr)
+        self.mapping.note_block_erased(victim)
+        self.erases += 1
+        ops.append(erase_op(victim_addr, internal=True))
+        plane_index = (
+            victim_addr.chip * self.array.geometry.planes_per_chip
+            + victim_addr.plane
+        )
+        self._pools[(channel, plane_index)].release(victim)
+        return ops
+
+    def _maybe_write_parity(self, data_channel: int) -> List[FlashOp]:
+        """RAID-5-style channel parity: one parity program per (g-1)
+        data programs within the channel's parity group."""
+        if self.parity_group_size is None:
+            return []
+        group = data_channel // self.parity_group_size
+        pending = self._parity_pending.get(group, 0) + 1
+        if pending < self.parity_group_size - 1:
+            self._parity_pending[group] = pending
+            return []
+        self._parity_pending[group] = 0
+        parity_channel = self._parity_channels[group % len(self._parity_channels)]
+        ops = list(self._ensure_free_space(parity_channel))
+        addr, _, _ = self._next_slot(parity_channel)
+        self.array.program_page(addr, None)
+        self.parity_programs += 1
+        ops.append(
+            program_op(addr, self.array.geometry.page_size, internal=True)
+        )
+        return ops

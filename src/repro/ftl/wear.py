@@ -1,0 +1,132 @@
+"""Wear leveling: free-block allocation and (optional) static migration.
+
+**Dynamic wear leveling** (what SDF implements, S2.1): when a write
+needs a fresh block, pick the free block with the smallest erase count.
+The paper stores the erase-count table in banked SRAM so the minimum
+search can proceed in parallel; functionally this is a min-heap.
+
+**Static wear leveling** (what SDF deliberately *omits*, S2.2): migrate
+long-lived cold data out of low-wear blocks.  Implemented here for the
+conventional-SSD baseline and for the ablation study that justifies the
+omission.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class FreeBlockPool:
+    """Min-erase-count allocator over a set of free blocks.
+
+    Erase counts are tracked internally: blocks re-enter the pool via
+    :meth:`release` after an erase, which bumps their count.
+    """
+
+    def __init__(self, blocks: Iterable[int]):
+        self._erase_counts: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int]] = []  # (erase_count, block)
+        self._free: set = set()
+        for block in blocks:
+            self._erase_counts[block] = 0
+            self._free.add(block)
+            heapq.heappush(self._heap, (0, block))
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._free
+
+    def erase_count(self, block: int) -> int:
+        """Erase count of the given block."""
+        return self._erase_counts[block]
+
+    def allocate(self) -> int:
+        """Pop the free block with the lowest erase count."""
+        while self._heap:
+            count, block = heapq.heappop(self._heap)
+            if block in self._free and count == self._erase_counts[block]:
+                self._free.discard(block)
+                return block
+        raise IndexError("no free blocks available")
+
+    def release(self, block: int, erased: bool = True) -> None:
+        """Return a block to the pool (after erasing it, normally)."""
+        if block in self._free:
+            raise ValueError(f"block {block} is already free")
+        if block not in self._erase_counts:
+            # A block entering the pool for the first time (e.g. a BBM
+            # replacement brought into service late).
+            self._erase_counts[block] = 0
+        if erased:
+            self._erase_counts[block] += 1
+        self._free.add(block)
+        heapq.heappush(self._heap, (self._erase_counts[block], block))
+
+    def retire(self, block: int) -> None:
+        """Permanently remove a (bad) block from circulation."""
+        self._free.discard(block)
+        self._erase_counts.pop(block, None)
+
+    def note_external_erase(self, block: int) -> None:
+        """Record an erase performed while the block was allocated."""
+        if block in self._free:
+            raise ValueError("block is free; release() records its erase")
+        self._erase_counts[block] = self._erase_counts.get(block, 0) + 1
+
+    @property
+    def min_free_erase_count(self) -> Optional[int]:
+        """Smallest erase count among free blocks."""
+        while self._heap:
+            count, block = self._heap[0]
+            if block in self._free and count == self._erase_counts[block]:
+                return count
+            heapq.heappop(self._heap)
+        return None
+
+    def wear_spread(self) -> int:
+        """max - min erase count over every block this pool has seen."""
+        if not self._erase_counts:
+            return 0
+        counts = self._erase_counts.values()
+        return max(counts) - min(counts)
+
+
+class StaticWearLeveler:
+    """Cold-data migration policy for the conventional baseline/ablation.
+
+    When the wear spread (max erase count - min erase count) exceeds
+    ``threshold``, the block with the minimum erase count is nominated
+    for migration: its (cold) valid data should be moved so the
+    low-wear block can rejoin the free pool.  The mechanics of moving
+    data belong to the owning FTL; this class only decides *when* and
+    *which block*.
+    """
+
+    def __init__(self, threshold: int = 50):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.migrations_triggered = 0
+
+    def pick_victim(
+        self,
+        erase_count_of: Callable[[int], int],
+        candidate_blocks: Iterable[int],
+        max_erase_count: int,
+    ) -> Optional[int]:
+        """The coldest candidate, if the spread crosses the threshold."""
+        victim = None
+        victim_count = None
+        for block in candidate_blocks:
+            count = erase_count_of(block)
+            if victim_count is None or count < victim_count:
+                victim, victim_count = block, count
+        if victim is None:
+            return None
+        if max_erase_count - victim_count < self.threshold:
+            return None
+        self.migrations_triggered += 1
+        return victim

@@ -1,0 +1,36 @@
+"""Host-side interface models: links, I/O stacks, interrupts.
+
+* :class:`~repro.interfaces.link.HostLink` -- PCIe 1.1 x8 / SATA 2.0
+  bandwidth models with chunked transfers so concurrent DMAs share the
+  link fairly.
+* :class:`~repro.interfaces.iostack.IOStackModel` -- per-request software
+  cost: the kernel block stack (~12.9 us, S4.3) vs SDF's user-space
+  IOCTL path (2-4 us, S2.4).
+* :class:`~repro.interfaces.interrupts.InterruptCoalescer` -- SDF's MSI
+  merging (S2.1): interrupts are merged per Spartan-6 and again in the
+  Virtex-5, cutting the interrupt rate to 1/5-1/4 of IOPS.
+"""
+
+from repro.interfaces.interrupts import InterruptCoalescer
+from repro.interfaces.iostack import (
+    IOStackModel,
+    KERNEL_IO_STACK,
+    SDF_USER_SPACE_STACK,
+)
+from repro.interfaces.link import (
+    HostLink,
+    PCIE_1_1_X8,
+    SATA_2_0,
+    LinkSpec,
+)
+
+__all__ = [
+    "HostLink",
+    "LinkSpec",
+    "PCIE_1_1_X8",
+    "SATA_2_0",
+    "IOStackModel",
+    "KERNEL_IO_STACK",
+    "SDF_USER_SPACE_STACK",
+    "InterruptCoalescer",
+]

@@ -1,0 +1,92 @@
+"""Host link (PCIe / SATA) bandwidth models.
+
+The paper treats the host links as throughput caps and reports the
+*measured effective* limits it observed: PCIe 1.1 x8 moves 1.61 GB/s of
+read data and 1.40 GB/s of write data; SATA 2.0 is a 300 MB/s line (S3.2,
+Table 1).  We model each direction as a capacity-1 resource whose
+transfers are chunked so concurrent DMAs interleave fairly, the way PCIe
+TLPs / SATA frames do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Resource, Simulator
+from repro.sim.stats import ThroughputMeter
+from repro.sim.units import KIB, transfer_ns
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of a host link."""
+
+    name: str
+    read_mb_per_s: float
+    write_mb_per_s: float
+    full_duplex: bool = True
+    chunk_bytes: int = 128 * KIB
+    per_transfer_overhead_ns: int = 1_000
+
+    def __post_init__(self):
+        if self.read_mb_per_s <= 0 or self.write_mb_per_s <= 0:
+            raise ValueError("link bandwidths must be positive")
+        if self.chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        if self.per_transfer_overhead_ns < 0:
+            raise ValueError("per_transfer_overhead_ns must be >= 0")
+
+
+#: Paper S3.2: "maximum PCIe throughputs when used for data read and
+#: write are 1.61 GB/s and 1.40 GB/s".  Per-transfer overhead is tiny:
+#: scatter-gather descriptors amortize DMA setup across a whole request.
+PCIE_1_1_X8 = LinkSpec("PCIe 1.1 x8", 1610.0, 1400.0,
+                       per_transfer_overhead_ns=100)
+
+#: SATA 2.0: 300 MB/s line rate, ~90% effective after 8b/10b + FIS
+#: overheads; half duplex.
+SATA_2_0 = LinkSpec("SATA 2.0", 270.0, 270.0, full_duplex=False)
+
+
+class HostLink:
+    """A timed host link shared by every requester on the device."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec):
+        self.sim = sim
+        self.spec = spec
+        self._read_lane = Resource(sim, capacity=1)
+        self._write_lane = (
+            Resource(sim, capacity=1) if spec.full_duplex else self._read_lane
+        )
+        self.read_meter = ThroughputMeter(f"{spec.name}.read")
+        self.write_meter = ThroughputMeter(f"{spec.name}.write")
+
+    def _lane_and_rate(self, direction: str):
+        if direction == "read":
+            return self._read_lane, self.spec.read_mb_per_s, self.read_meter
+        if direction == "write":
+            return self._write_lane, self.spec.write_mb_per_s, self.write_meter
+        raise ValueError(f"direction must be 'read' or 'write', not {direction!r}")
+
+    def transfer(self, direction: str, nbytes: int):
+        """Generator: move ``nbytes`` in ``direction`` over the link.
+
+        'read' is device-to-host, 'write' is host-to-device.  Transfers
+        are split into chunks so concurrent requests share the lane.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        lane, rate, meter = self._lane_and_rate(direction)
+        remaining = nbytes
+        first = True
+        while remaining > 0 or first:
+            chunk = min(remaining, self.spec.chunk_bytes)
+            with lane.request() as hold:
+                yield hold
+                cost = transfer_ns(chunk, rate)
+                if first:
+                    cost += self.spec.per_transfer_overhead_ns
+                yield self.sim.timeout(cost)
+            remaining -= chunk
+            first = False
+        meter.record(self.sim.now, nbytes)

@@ -1,0 +1,66 @@
+"""CCDB: Baidu's LSM-tree key-value storage (paper S2.4).
+
+The paper's production workloads are all CCDB traffic, so the
+reproduction implements a working (if compact) CCDB:
+
+* writes accumulate in an 8 MB in-memory container
+  (:class:`~repro.kv.memtable.MemTable`), protected by a write-ahead log
+  (:class:`~repro.kv.wal.WriteAheadLog`);
+* full containers become immutable sorted **patches**
+  (:class:`~repro.kv.patch.Patch`) -- the 8 MB write unit that matches
+  the SDF interface exactly;
+* patches undergo multi-level merge-sort **compaction**
+  (:mod:`~repro.kv.compaction`) on their way into the final large log;
+* all KV metadata stays in DRAM so a read needs exactly one device read
+  (:class:`~repro.kv.lsm.LSMTree` keeps a global key -> run map);
+* a :class:`~repro.kv.slice.Slice` serves one key range, and
+  :class:`~repro.kv.store.CCDBStore` is the synchronous facade that
+  binds an LSM tree to a storage backend (in-memory or an
+  :class:`~repro.core.api.SDFSystem`).
+
+The LSM tree itself is a pure state machine: it never performs I/O but
+returns *tasks* (store this patch / merge these runs) that its driver --
+the synchronous store here, or the timed cluster node in
+:mod:`repro.cluster` -- executes against real storage.
+"""
+
+from repro.kv.common import (
+    TOMBSTONE,
+    PlaceholderValue,
+    sizeof_key,
+    sizeof_value,
+)
+from repro.kv.compaction import (
+    CompactionTask,
+    TieredCompactionPolicy,
+    merge_patches,
+    split_patch,
+)
+from repro.kv.lsm import LSMTree, Lookup, Run
+from repro.kv.memtable import MemTable
+from repro.kv.patch import Patch
+from repro.kv.slice import KeyRange, Slice
+from repro.kv.store import CCDBStore, MemoryPatchStore, SDFPatchStore
+from repro.kv.wal import WriteAheadLog
+
+__all__ = [
+    "TOMBSTONE",
+    "PlaceholderValue",
+    "sizeof_key",
+    "sizeof_value",
+    "MemTable",
+    "Patch",
+    "WriteAheadLog",
+    "LSMTree",
+    "Run",
+    "Lookup",
+    "CompactionTask",
+    "TieredCompactionPolicy",
+    "merge_patches",
+    "split_patch",
+    "KeyRange",
+    "Slice",
+    "CCDBStore",
+    "MemoryPatchStore",
+    "SDFPatchStore",
+]

@@ -1,0 +1,62 @@
+"""Shared KV primitives: tombstones, placeholder values, sizing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _Tombstone:
+    """Marks a deleted key inside memtables and patches."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass(frozen=True)
+class PlaceholderValue:
+    """A sized stand-in for a value whose bytes do not matter.
+
+    Performance experiments push gigabytes through the KV store; storing
+    real buffers would waste host memory without changing any simulated
+    time, so workloads write ``PlaceholderValue(size)`` instead.
+    """
+
+    size: int
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative placeholder size {self.size}")
+
+
+def sizeof_key(key) -> int:
+    """Stored size of a key (bytes/str supported)."""
+    if isinstance(key, (bytes, bytearray)):
+        return len(key)
+    if isinstance(key, str):
+        return len(key.encode("utf-8"))
+    if isinstance(key, int):
+        return 8
+    raise TypeError(f"unsupported key type {type(key).__name__}")
+
+
+def sizeof_value(value) -> int:
+    """Stored size of a value."""
+    if value is TOMBSTONE:
+        return 0
+    if isinstance(value, PlaceholderValue):
+        return value.size
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    raise TypeError(f"unsupported value type {type(value).__name__}")

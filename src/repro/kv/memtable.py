@@ -1,0 +1,80 @@
+"""The in-memory write container (paper S2.4).
+
+"CCDB uses a container for receiving KV items arriving in write
+requests.  The container has a maximum capacity of 8 MB."  When full it
+is frozen into a :class:`~repro.kv.patch.Patch`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.kv.common import TOMBSTONE, sizeof_key, sizeof_value
+from repro.sim.units import MIB
+
+
+class MemTable:
+    """A bounded, mutable key-value container."""
+
+    def __init__(self, capacity_bytes: int = 8 * MIB):
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._items: Dict = {}
+        self._nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def nbytes(self) -> int:
+        """Current payload size (keys + values)."""
+        return self._nbytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is stored."""
+        return not self._items
+
+    def fits(self, key, value) -> bool:
+        """Would inserting this pair stay within capacity?"""
+        delta = sizeof_key(key) + sizeof_value(value)
+        if key in self._items:
+            delta -= sizeof_key(key) + sizeof_value(self._items[key])
+        return self._nbytes + delta <= self.capacity_bytes
+
+    def put(self, key, value) -> None:
+        """Insert or overwrite; raises when the entry alone is too big."""
+        entry = sizeof_key(key) + sizeof_value(value)
+        if entry > self.capacity_bytes:
+            raise ValueError(
+                f"entry of {entry} bytes exceeds container capacity "
+                f"{self.capacity_bytes}"
+            )
+        if key in self._items:
+            self._nbytes -= sizeof_key(key) + sizeof_value(self._items[key])
+        self._items[key] = value
+        self._nbytes += entry
+
+    def delete(self, key) -> None:
+        """Record a deletion (tombstone)."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key) -> Tuple[bool, Optional[object]]:
+        """(found, value); found is True even for tombstones."""
+        if key in self._items:
+            return True, self._items[key]
+        return False, None
+
+    def items_sorted(self) -> List[Tuple[object, object]]:
+        """Snapshot of (key, value) in key order (for patch building)."""
+        return sorted(self._items.items(), key=lambda kv: kv[0])
+
+    def keys(self) -> Iterator:
+        """The keys, in key order."""
+        return iter(self._items)
+
+    def clear(self) -> None:
+        """Remove everything."""
+        self._items.clear()
+        self._nbytes = 0

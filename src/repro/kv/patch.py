@@ -1,0 +1,126 @@
+"""Immutable sorted patches -- CCDB's SSTable equivalent.
+
+"When a container is full, a patch is formed, and the patch is written
+into the SDF device" (S2.4).  A patch is a sorted run of key/value
+pairs with a binary-searchable index; patches are merge-sorted during
+compaction and can be serialized to bytes for storage on a real(ly
+simulated) device.
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.kv.common import TOMBSTONE, PlaceholderValue, sizeof_key, sizeof_value
+
+
+class Patch:
+    """An immutable sorted run of (key, value) pairs."""
+
+    __slots__ = ("_keys", "_values", "nbytes")
+
+    def __init__(self, items: Iterable[Tuple[object, object]]):
+        pairs = list(items)
+        keys = [key for key, _ in pairs]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("patch items must be strictly sorted by key")
+        self._keys: List = keys
+        self._values: List = [value for _, value in pairs]
+        self.nbytes = sum(
+            sizeof_key(key) + sizeof_value(value) for key, value in pairs
+        )
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_memtable(cls, memtable) -> "Patch":
+        """Freeze a memtable's sorted contents into a patch."""
+        return cls(memtable.items_sorted())
+
+    # -- lookups ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is stored."""
+        return not self._keys
+
+    @property
+    def min_key(self):
+        """Smallest key (None if empty)."""
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max_key(self):
+        """Largest key (None if empty)."""
+        return self._keys[-1] if self._keys else None
+
+    def __contains__(self, key) -> bool:
+        index = bisect.bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def get(self, key) -> Tuple[bool, Optional[object]]:
+        """(found, value); found is True for tombstones too."""
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return True, self._values[index]
+        return False, None
+
+    def offset_of(self, key) -> Optional[int]:
+        """Byte offset of the value within the patch (for device reads)."""
+        index = bisect.bisect_left(self._keys, key)
+        if index >= len(self._keys) or self._keys[index] != key:
+            return None
+        offset = 0
+        for i in range(index):
+            offset += sizeof_key(self._keys[i]) + sizeof_value(self._values[i])
+        return offset + sizeof_key(key)
+
+    def items(self) -> Iterable[Tuple[object, object]]:
+        """Iterate (key, value) pairs in key order."""
+        return zip(self._keys, self._values)
+
+    def keys(self) -> Sequence:
+        """The keys, in key order."""
+        return tuple(self._keys)
+
+    def range_items(self, lo, hi) -> List[Tuple[object, object]]:
+        """Items with lo <= key < hi."""
+        start = bisect.bisect_left(self._keys, lo)
+        stop = bisect.bisect_left(self._keys, hi)
+        return [
+            (self._keys[i], self._values[i]) for i in range(start, stop)
+        ]
+
+    # -- serialization -------------------------------------------------------------
+    _TOMBSTONE_MARK = "__ccdb_tombstone__"
+    _PLACEHOLDER_MARK = "__ccdb_placeholder__"
+
+    def serialize(self) -> bytes:
+        """Portable byte form (for storing patches on simulated flash)."""
+        encoded = []
+        for key, value in self.items():
+            if value is TOMBSTONE:
+                value = (self._TOMBSTONE_MARK,)
+            elif isinstance(value, PlaceholderValue):
+                value = (self._PLACEHOLDER_MARK, value.size)
+            encoded.append((key, value))
+        return pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "Patch":
+        """Rebuild a patch from its serialized bytes."""
+        decoded = []
+        for key, value in pickle.loads(raw):
+            if isinstance(value, tuple) and value:
+                if value[0] == cls._TOMBSTONE_MARK:
+                    value = TOMBSTONE
+                elif value[0] == cls._PLACEHOLDER_MARK:
+                    value = PlaceholderValue(value[1])
+            decoded.append((key, value))
+        return cls(decoded)
+
+    def __repr__(self):
+        return f"Patch(n={len(self)}, nbytes={self.nbytes})"

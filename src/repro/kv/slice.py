@@ -1,0 +1,87 @@
+"""Slices: CCDB's unit of key-space partitioning (paper S2.4).
+
+"Requests from clients are hashed into different hash buckets called
+slices ... A slice uses Baidu's CCDB system to manage its KV pairs using
+a log-structured merge tree."  A slice owns one key range and one LSM
+tree; slices are hosted on storage-server nodes (see
+:mod:`repro.cluster.node`) and replicated across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kv.lsm import LSMTree
+from repro.sim.stats import Counter
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Half-open key interval [lo, hi)."""
+
+    lo: object
+    hi: object
+
+    def __post_init__(self):
+        if not self.lo < self.hi:
+            raise ValueError(f"empty key range [{self.lo!r}, {self.hi!r})")
+
+    def __contains__(self, key) -> bool:
+        return self.lo <= key < self.hi
+
+
+class WrongSliceError(KeyError):
+    """A key outside this slice's range was routed here."""
+
+
+class Slice:
+    """One key range served by one LSM tree."""
+
+    def __init__(
+        self,
+        slice_id: int,
+        key_range: KeyRange,
+        lsm: Optional[LSMTree] = None,
+    ):
+        self.slice_id = slice_id
+        self.key_range = key_range
+        self.lsm = lsm if lsm is not None else LSMTree()
+        self.reads = Counter(f"slice{slice_id}.reads")
+        self.writes = Counter(f"slice{slice_id}.writes")
+
+    def owns(self, key) -> bool:
+        """True when the key falls in this slice's range."""
+        return key in self.key_range
+
+    def require_owns(self, key) -> None:
+        """Raise WrongSliceError unless the key is owned."""
+        if not self.owns(key):
+            raise WrongSliceError(
+                f"key {key!r} outside slice {self.slice_id} range "
+                f"[{self.key_range.lo!r}, {self.key_range.hi!r})"
+            )
+
+    def __repr__(self):
+        return (
+            f"Slice(id={self.slice_id}, "
+            f"range=[{self.key_range.lo!r}, {self.key_range.hi!r}), "
+            f"{self.lsm!r})"
+        )
+
+
+def partition_key_space(n_slices: int, lo: int = 0, hi: int = 1 << 64):
+    """Split an integer key space into ``n_slices`` equal ranges."""
+    if n_slices < 1:
+        raise ValueError("need at least one slice")
+    if not lo < hi:
+        raise ValueError("empty key space")
+    width = (hi - lo) // n_slices
+    if width < 1:
+        raise ValueError("key space too small for that many slices")
+    ranges = []
+    for index in range(n_slices):
+        range_lo = lo + index * width
+        range_hi = hi if index == n_slices - 1 else range_lo + width
+        ranges.append(KeyRange(range_lo, range_hi))
+    return ranges

@@ -1,0 +1,52 @@
+"""Write-ahead log.
+
+"Data that are being accumulated in the in-memory container are
+immediately saved in a log in an SSD or a hard disk to prevent data
+loss" (S2.4).  The log records every mutation since the last container
+flush; :meth:`replay` rebuilds the container after a crash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.kv.common import TOMBSTONE, sizeof_key, sizeof_value
+
+PUT = "put"
+DELETE = "delete"
+
+
+class WriteAheadLog:
+    """An append-only mutation log with truncation at flush points."""
+
+    def __init__(self):
+        self._records: List[Tuple[str, object, object]] = []
+        self.appended_bytes = 0
+        self.truncations = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append_put(self, key, value) -> None:
+        """Log an insert."""
+        self._records.append((PUT, key, value))
+        self.appended_bytes += sizeof_key(key) + sizeof_value(value)
+
+    def append_delete(self, key) -> None:
+        """Log a deletion."""
+        self._records.append((DELETE, key, None))
+        self.appended_bytes += sizeof_key(key)
+
+    def truncate(self) -> None:
+        """Drop all records (the container they protect was persisted)."""
+        self._records.clear()
+        self.truncations += 1
+
+    def replay(self, memtable) -> int:
+        """Re-apply every record into ``memtable``; returns the count."""
+        for kind, key, value in self._records:
+            if kind == PUT:
+                memtable.put(key, value)
+            else:
+                memtable.put(key, TOMBSTONE)
+        return len(self._records)

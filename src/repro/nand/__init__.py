@@ -1,0 +1,57 @@
+"""NAND flash substrate.
+
+Models the raw flash hardware that both SDF and the conventional-SSD
+baselines are built from: chip/plane/block/page state machines with NAND
+programming constraints (erase-before-program, sequential page
+programming within a block), datasheet timing parameters, and a
+wear-dependent raw-bit-error-rate model feeding the BCH ECC layer.
+"""
+
+from repro.nand.array import FlashArray, PhysicalAddress
+from repro.nand.catalog import (
+    INTEL_25NM_MLC,
+    MICRON_25NM_MLC,
+    MICRON_34NM_MLC,
+    SDF_CHANNEL_GEOMETRY,
+    SDF_CHIP_GEOMETRY,
+)
+from repro.nand.chip import (
+    Block,
+    BlockState,
+    FlashChip,
+    FlashError,
+    Page,
+    PageState,
+    Plane,
+    ProgramError,
+    WearOutError,
+)
+from repro.nand.errors import (
+    RawBitErrorModel,
+    page_failure_probability,
+)
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+
+__all__ = [
+    "FlashArray",
+    "PhysicalAddress",
+    "FlashGeometry",
+    "NandTiming",
+    "FlashChip",
+    "Plane",
+    "Block",
+    "Page",
+    "PageState",
+    "BlockState",
+    "FlashError",
+    "ProgramError",
+    "WearOutError",
+    "RawBitErrorModel",
+    "page_failure_probability",
+    "MICRON_25NM_MLC",
+    "MICRON_34NM_MLC",
+    "INTEL_25NM_MLC",
+    "SDF_CHIP_GEOMETRY",
+    "SDF_CHANNEL_GEOMETRY",
+]

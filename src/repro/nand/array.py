@@ -1,0 +1,185 @@
+"""A grid of NAND chips addressed by (channel, chip, plane, block, page).
+
+Both device families are built over a :class:`FlashArray`: the SDF uses
+44 channels x 2 chips, the Intel-320 baseline 10 channels x 2 chips, etc.
+The array provides flat physical-page-number (PPN) packing used by the
+numpy-backed mapping tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nand.chip import FlashChip
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """A fully-resolved flash location."""
+
+    channel: int
+    chip: int
+    plane: int
+    block: int
+    page: int = 0
+
+    def with_page(self, page: int) -> "PhysicalAddress":
+        """Copy of this address pointing at another page."""
+        return PhysicalAddress(
+            self.channel, self.chip, self.plane, self.block, page
+        )
+
+
+class FlashArray:
+    """All the flash behind one device."""
+
+    def __init__(
+        self,
+        channels: int,
+        chips_per_channel: int,
+        geometry: FlashGeometry,
+        timing: NandTiming,
+        rng: Optional[np.random.Generator] = None,
+        factory_bad_rate: float = 0.0,
+        endurance: Optional[int] = None,
+    ):
+        if channels < 1 or chips_per_channel < 1:
+            raise ValueError("channels and chips_per_channel must be >= 1")
+        self.n_channels = channels
+        self.chips_per_channel = chips_per_channel
+        self.geometry = geometry
+        self.timing = timing
+        self.chips: List[List[FlashChip]] = [
+            [
+                FlashChip(
+                    geometry=geometry,
+                    timing=timing,
+                    chip_id=channel * chips_per_channel + chip,
+                    rng=rng,
+                    factory_bad_rate=factory_bad_rate,
+                    endurance=endurance,
+                )
+                for chip in range(chips_per_channel)
+            ]
+            for channel in range(channels)
+        ]
+
+    # -- shape -------------------------------------------------------------------
+    @property
+    def planes_per_channel(self) -> int:
+        """Planes behind one channel."""
+        return self.chips_per_channel * self.geometry.planes_per_chip
+
+    @property
+    def n_planes(self) -> int:
+        """Planes in the whole array."""
+        return self.n_channels * self.planes_per_channel
+
+    @property
+    def blocks_per_channel(self) -> int:
+        """Erase blocks behind one channel."""
+        return self.planes_per_channel * self.geometry.blocks_per_plane
+
+    @property
+    def n_blocks(self) -> int:
+        """Erase blocks in the whole array."""
+        return self.n_channels * self.blocks_per_channel
+
+    @property
+    def n_pages(self) -> int:
+        """Pages in the whole array."""
+        return self.n_blocks * self.geometry.pages_per_block
+
+    @property
+    def raw_bytes(self) -> int:
+        """Total raw capacity of the array."""
+        return self.n_pages * self.geometry.page_size
+
+    # -- PPN packing ---------------------------------------------------------------
+    def ppn(self, addr: PhysicalAddress) -> int:
+        """Flat physical page number for an address."""
+        geo = self.geometry
+        block_index = self.flat_block(addr)
+        return block_index * geo.pages_per_block + addr.page
+
+    def flat_block(self, addr: PhysicalAddress) -> int:
+        """Flat block index (channel-major) for an address."""
+        geo = self.geometry
+        plane_index = (
+            addr.channel * self.planes_per_channel
+            + addr.chip * geo.planes_per_chip
+            + addr.plane
+        )
+        return plane_index * geo.blocks_per_plane + addr.block
+
+    def unpack_ppn(self, ppn: int) -> PhysicalAddress:
+        """Physical address for a flat physical page number."""
+        geo = self.geometry
+        page = ppn % geo.pages_per_block
+        block_index = ppn // geo.pages_per_block
+        return self.unpack_block(block_index).with_page(page)
+
+    def unpack_block(self, flat_block: int) -> PhysicalAddress:
+        """Physical address (page 0) for a flat block index."""
+        geo = self.geometry
+        block = flat_block % geo.blocks_per_plane
+        plane_index = flat_block // geo.blocks_per_plane
+        plane = plane_index % geo.planes_per_chip
+        chip_index = plane_index // geo.planes_per_chip
+        chip = chip_index % self.chips_per_channel
+        channel = chip_index // self.chips_per_channel
+        return PhysicalAddress(channel, chip, plane, block, 0)
+
+    # -- operations (functional) -----------------------------------------------------
+    def chip_at(self, channel: int, chip: int) -> FlashChip:
+        """The chip at (channel, chip)."""
+        return self.chips[channel][chip]
+
+    def read_page(self, addr: PhysicalAddress):
+        """Read one page's payload."""
+        return self.chips[addr.channel][addr.chip].read_page(
+            addr.plane, addr.block, addr.page
+        )
+
+    def program_page(self, addr: PhysicalAddress, data) -> None:
+        """Program one page with a payload."""
+        self.chips[addr.channel][addr.chip].program_page(
+            addr.plane, addr.block, addr.page, data
+        )
+
+    def erase_block(self, addr: PhysicalAddress) -> None:
+        """Erase one block."""
+        self.chips[addr.channel][addr.chip].erase_block(addr.plane, addr.block)
+
+    def is_bad(self, addr: PhysicalAddress) -> bool:
+        """True when the block is unusable."""
+        return self.chips[addr.channel][addr.chip].is_bad(addr.plane, addr.block)
+
+    def erase_count(self, addr: PhysicalAddress) -> int:
+        """Erase count of the given block."""
+        return (
+            self.chips[addr.channel][addr.chip]
+            .block(addr.plane, addr.block)
+            .erase_count
+        )
+
+    # -- aggregate counters -----------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        """Page reads across every chip."""
+        return sum(c.reads for row in self.chips for c in row)
+
+    @property
+    def total_programs(self) -> int:
+        """Page programs across every chip."""
+        return sum(c.programs for row in self.chips for c in row)
+
+    @property
+    def total_erases(self) -> int:
+        """Block erases across every chip."""
+        return sum(c.erases for row in self.chips for c in row)

@@ -1,0 +1,74 @@
+"""Named NAND chip configurations used by the device catalog.
+
+Timing values are taken from the paper where stated (tR ~ 75 us for
+25 nm MLC, block erase ~ 3 ms, async 40 MHz channel interface) and from
+contemporaneous ONFI datasheets otherwise.  tPROG is calibrated so that
+the aggregate raw write bandwidths reproduce the paper's Table 1 /
+Section 3.2 numbers (SDF raw write 1.01 GB/s over 176 planes).
+"""
+
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+from repro.sim.units import KIB
+
+#: Micron 25 nm MLC, 8 GB/chip, 2 planes -- the SDF / Huawei Gen3 chip
+#: (paper Table 3: 8 KB page, 2 MB block, 16 GB per 2-chip channel).
+SDF_CHIP_GEOMETRY = FlashGeometry(
+    page_size=8 * KIB,
+    pages_per_block=256,  # 2 MiB erase block
+    blocks_per_plane=2048,  # 4 GiB plane, 8 GiB chip
+    planes_per_chip=2,
+)
+
+#: Convenience alias: geometry of the flash behind one SDF channel
+#: (2 chips x 2 planes = 4 planes, 16 GiB).
+SDF_CHANNEL_GEOMETRY = SDF_CHIP_GEOMETRY
+
+#: 40 MHz async interface: the "NAND speed" of the mid-range drive and
+#: SDF in Table 1.  Raw per-channel read ~ 38 MB/s (bus-limited), raw
+#: per-plane write ~ 5.8 MB/s (tPROG-limited).
+MICRON_25NM_MLC = NandTiming(
+    t_read_ns=75_000,
+    t_prog_ns=1_400_000,
+    t_erase_ns=3_000_000,
+    bus_mb_per_s=40.0,
+    bus_overhead_ns=5_000,
+)
+
+#: Micron 34 nm MLC with ONFI 1.x async interface -- the high-end
+#: (Memblaze Q520-class) drive in Table 1: 32 channels x 16 planes,
+#: raw 1600/1500 MB/s.  Reads are bus-limited at ~50 MB/s per channel;
+#: writes are tPROG-limited at ~2.93 MB/s per plane (4 KiB pages).
+MICRON_34NM_MLC = NandTiming(
+    t_read_ns=50_000,
+    t_prog_ns=1_400_000,
+    t_erase_ns=2_500_000,
+    bus_mb_per_s=50.0,
+    bus_overhead_ns=4_000,
+)
+
+#: Geometry of the 34 nm high-end chip: 4 KiB pages, 1 MiB blocks.
+HIGH_END_CHIP_GEOMETRY = FlashGeometry(
+    page_size=4 * KIB,
+    pages_per_block=256,
+    blocks_per_plane=2048,
+    planes_per_chip=4,
+)
+
+#: Intel 320-class 25 nm MLC behind ONFI 2.x -- the low-end drive:
+#: 10 channels x 4 planes, raw 300/300 MB/s (SATA-limited on reads).
+INTEL_25NM_MLC = NandTiming(
+    t_read_ns=75_000,
+    t_prog_ns=1_100_000,
+    t_erase_ns=3_000_000,
+    bus_mb_per_s=133.0,  # ONFI 2.x source-synchronous
+    bus_overhead_ns=5_000,
+)
+
+#: Geometry of the Intel 320 chip (160 GB drive, 10 channels x 2 chips).
+INTEL_320_CHIP_GEOMETRY = FlashGeometry(
+    page_size=8 * KIB,
+    pages_per_block=256,
+    blocks_per_plane=2048,
+    planes_per_chip=2,
+)

@@ -1,0 +1,72 @@
+"""Flash geometry: how pages, blocks, planes and chips nest.
+
+The SDF board (paper Table 3): 8 KB pages, 2 MB erase blocks, 2 planes
+per chip, 2 chips per channel, 44 channels, 16 GB per channel, 704 GB
+per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import KIB
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Static shape of one NAND flash chip."""
+
+    page_size: int = 8 * KIB
+    pages_per_block: int = 256
+    blocks_per_plane: int = 2048
+    planes_per_chip: int = 2
+
+    def __post_init__(self):
+        for name in (
+            "page_size",
+            "pages_per_block",
+            "blocks_per_plane",
+            "planes_per_chip",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @property
+    def block_size(self) -> int:
+        """Bytes in one erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def plane_size(self) -> int:
+        """Bytes in one plane."""
+        return self.block_size * self.blocks_per_plane
+
+    @property
+    def chip_size(self) -> int:
+        """Bytes in one chip."""
+        return self.plane_size * self.planes_per_chip
+
+    @property
+    def blocks_per_chip(self) -> int:
+        """Erase blocks in one chip."""
+        return self.blocks_per_plane * self.planes_per_chip
+
+    @property
+    def pages_per_chip(self) -> int:
+        """Pages in one chip."""
+        return self.blocks_per_chip * self.pages_per_block
+
+    def scaled(self, factor: float) -> "FlashGeometry":
+        """A geometry with ``blocks_per_plane`` scaled by ``factor``.
+
+        Used by tests and fast benchmarks to shrink capacity while keeping
+        page/block sizes (and therefore all timing behaviour) identical.
+        """
+        blocks = max(1, int(self.blocks_per_plane * factor))
+        return FlashGeometry(
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            blocks_per_plane=blocks,
+            planes_per_chip=self.planes_per_chip,
+        )

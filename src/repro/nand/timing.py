@@ -1,0 +1,57 @@
+"""NAND datasheet timing parameters.
+
+The numbers that matter to the paper's bandwidth arithmetic:
+
+* ``t_read_ns`` -- cell-to-register sense time (tR).  The paper (S4.3)
+  quotes ~75 us for a 25 nm MLC page read.
+* ``t_prog_ns`` -- register-to-cell program time (tPROG), ~1.3-1.5 ms
+  for 25 nm MLC.
+* ``t_erase_ns`` -- block erase (tBERS); the paper (S2.3) quotes ~3 ms
+  for a 2 MB block.
+* ``bus_mb_per_s`` -- channel interface rate; the SDF/Huawei Gen3 use an
+  asynchronous 40 MHz 8-bit interface (~40 MB/s per channel), ONFI 1.x
+  async is similar, ONFI 2.x source-synchronous is faster.
+* ``bus_overhead_ns`` -- per-operation command/address handshake cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.units import transfer_ns
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Timing/throughput parameters of one NAND chip + its channel bus."""
+
+    t_read_ns: int = 75_000  # tR: 75 us (25 nm MLC datasheet)
+    t_prog_ns: int = 1_400_000  # tPROG: 1.4 ms
+    t_erase_ns: int = 3_000_000  # tBERS: 3 ms (paper S2.3)
+    bus_mb_per_s: float = 40.0  # async 40 MHz, 8-bit
+    bus_overhead_ns: int = 5_000  # command/address/handshake per op
+
+    def __post_init__(self):
+        if min(self.t_read_ns, self.t_prog_ns, self.t_erase_ns) <= 0:
+            raise ValueError("NAND op times must be positive")
+        if self.bus_mb_per_s <= 0:
+            raise ValueError("bus rate must be positive")
+        if self.bus_overhead_ns < 0:
+            raise ValueError("bus overhead must be >= 0")
+
+    # -- derived quantities -------------------------------------------------
+    def bus_transfer_ns(self, nbytes: int) -> int:
+        """Time to move ``nbytes`` over the channel bus, incl. handshake."""
+        return self.bus_overhead_ns + transfer_ns(nbytes, self.bus_mb_per_s)
+
+    def plane_read_mb_per_s(self, page_size: int) -> float:
+        """Sustained cell-read bandwidth of one plane (ignoring the bus)."""
+        return page_size / (self.t_read_ns / 1e9) / 1e6
+
+    def plane_program_mb_per_s(self, page_size: int) -> float:
+        """Sustained program bandwidth of one plane (ignoring the bus)."""
+        return page_size / (self.t_prog_ns / 1e9) / 1e6
+
+    def scaled(self, **overrides) -> "NandTiming":
+        """Copy with some fields replaced (for what-if experiments)."""
+        return replace(self, **overrides)

@@ -1,0 +1,130 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock (integer nanoseconds) and a binary heap
+of scheduled events.  Ties at the same instant are broken by schedule
+order, making every run deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class _Call(Event):
+    """Internal event that invokes a plain callable when processed."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, sim: "Simulator", fn):
+        super().__init__(sim)
+        self._fn = fn
+        self._ok = True
+        self._value = None
+
+    def _process(self) -> None:
+        self._processed = True
+        self._fn()
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-nanosecond clock."""
+
+    def __init__(self):
+        self._now: int = 0
+        self._heap: list = []
+        self._seq: int = 0
+
+    # -- clock -----------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling (internal API used by events) --------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _schedule_call(self, fn, delay: int = 0) -> None:
+        self._schedule(_Call(self, fn), delay)
+
+    # -- public factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value=None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Launch ``generator`` as a concurrent process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first given event fires."""
+        return AnyOf(self, events)
+
+    # -- running ----------------------------------------------------------------
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        if not self._heap:
+            raise EmptySchedule("no scheduled events")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until no events remain;
+        * an ``int`` -- run until the clock reaches that time (ns);
+        * an :class:`Event` -- run until that event is processed, returning
+          its value (or raising its failure exception).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        f"event {stop!r} was triggered (deadlock?)"
+                    )
+                self.step()
+            if not stop.ok:
+                stop.defused = True
+                raise stop.value
+            return stop.value
+
+        deadline = int(until)
+        if deadline < self._now:
+            raise ValueError(f"cannot run until {deadline} < now={self._now}")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,99 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` must produce
+an :class:`~repro.sim.events.Event`; the process sleeps until that event
+is processed and is then resumed with the event's value (or has the
+event's exception thrown into it).  A process is itself an event that
+succeeds with the generator's return value, so processes can wait on each
+other.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Generator
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulation process (also an event: its completion)."""
+
+    __slots__ = ("_gen", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._gen = generator
+        self._target: Event | None = None
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._schedule(bootstrap)
+        bootstrap.add_callback(self._resume)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The event the process was waiting on is abandoned (its outcome is
+        ignored by this process).  Interrupting a finished process is an
+        error.
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a completed process")
+        if self._target is None:
+            raise RuntimeError("process is not waiting on anything yet")
+        target, self._target = self._target, None
+        target.remove_callback(self._resume)
+        if not target.ok if target.triggered else False:
+            target.defused = True
+        self.sim._schedule_call(lambda: self._throw_in(Interrupt(cause)))
+
+    # -- internals ---------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._advance(self._gen.send, event.value)
+        else:
+            event.defused = True
+            self._advance(self._gen.throw, event.value)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._advance(self._gen.throw, exc)
+
+    def _advance(self, step, arg) -> None:
+        try:
+            target = step(arg)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                f"process yielded {target!r}; processes may only yield Events"
+            )
+            self._gen.close()
+            self.fail(error)
+            return
+        if target is self:
+            self._gen.close()
+            self.fail(RuntimeError("process cannot wait on itself"))
+            return
+        self._target = target
+        target.add_callback(self._resume)

@@ -1,0 +1,257 @@
+"""Contention primitives: Resource, PriorityResource, Store, Container.
+
+These model the shared hardware in the system: a flash plane is a
+``Resource(capacity=1)``, a channel bus is a ``Resource(1)`` held for the
+transfer duration, a DRAM write buffer is a ``Container`` of bytes, and
+request queues are ``Store``\\ s.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from collections import deque
+from typing import Optional
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Request(Event):
+    """A pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... # holding the resource
+        # released on exit
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim, resource: "Resource"):
+        super().__init__(sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiting: deque = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when it is granted."""
+        req = Request(self.sim, self)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or cancel a not-yet-granted request)."""
+        if request in self._users:
+            self._users.discard(request)
+            self._grant()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+    def _grant(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            self._users.add(req)
+            req.succeed(req)
+
+    def acquire(self, hold_ns: int):
+        """Convenience process body: acquire, hold ``hold_ns``, release.
+
+        Usage: ``yield from resource.acquire(duration)``.
+        """
+        with self.request() as req:
+            yield req
+            yield self.sim.timeout(hold_ns)
+
+
+class PriorityRequest(Request):
+    """A :class:`PriorityResource` request (lower priority value = sooner)."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, sim, resource, priority: int, order: int):
+        super().__init__(sim, resource)
+        self.priority = priority
+        self._order = order
+
+    def _key(self):
+        return (self.priority, self._order)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        super().__init__(sim, capacity)
+        self._waiting: list = []
+        self._order = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:
+        """Ask for a slot; the returned event fires when granted."""
+        self._order += 1
+        req = PriorityRequest(self.sim, self, priority, self._order)
+        heapq.heappush(self._waiting, (req._key(), req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a held slot (or cancel a queued request)."""
+        if request in self._users:
+            self._users.discard(request)
+            self._grant()
+        else:
+            self._waiting = [
+                entry for entry in self._waiting if entry[1] is not request
+            ]
+            heapq.heapify(self._waiting)
+
+    def _grant(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            _, req = heapq.heappop(self._waiting)
+            self._users.add(req)
+            req.succeed(req)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items."""
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item) -> Event:
+        """Insert ``item``; the event fires once the item is accepted."""
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event fires with that item."""
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            while self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progress = True
+
+
+class Container:
+    """A continuous quantity (e.g. bytes in a DRAM buffer).
+
+    ``put`` blocks while the container would overflow; ``get`` blocks
+    until the requested amount is available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float, init: float = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._putters: deque = deque()
+        self._getters: deque = deque()
+
+    @property
+    def level(self) -> float:
+        """Current contents."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Insert; the returned event fires once accepted."""
+        if amount < 0:
+            raise ValueError(f"cannot put a negative amount {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"put {amount} exceeds capacity {self.capacity}")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove/fetch; the returned event fires with the result."""
+        if amount < 0:
+            raise ValueError(f"cannot get a negative amount {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"get {amount} exceeds capacity {self.capacity}")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progress = True

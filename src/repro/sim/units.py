@@ -1,0 +1,50 @@
+"""Time and size units shared across the simulation.
+
+Simulated time is an integer number of **nanoseconds**; sizes are integer
+**bytes**.  The paper mixes decimal (bandwidth: MB/s, GB/s) and binary
+(capacities, request sizes: KB pages, MB blocks) units; we follow the
+storage-industry convention used in the paper: request/page/block sizes
+are binary (``KIB``/``MIB``), while bandwidths are reported in decimal
+MB/s and GB/s.  ``KB``/``MB``/``GB`` are binary aliases because every
+"8 KB page" / "2 MB block" / "8 MB write unit" in the paper is binary.
+"""
+
+# --- time (integer nanoseconds) -------------------------------------------
+NS = 1
+US = 1_000
+MS = 1_000_000
+S = 1_000_000_000
+
+# --- sizes (bytes). Paper sizes (8 KB page, 2 MB block...) are binary. ----
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+KB = KIB
+MB = MIB
+GB = GIB
+
+# Decimal units, used only when quoting bandwidths (MB/s, GB/s).
+KB_DEC = 1_000
+MB_DEC = 1_000_000
+GB_DEC = 1_000_000_000
+
+
+def bytes_per_ns(mb_per_s: float) -> float:
+    """Convert a decimal MB/s bandwidth into bytes per nanosecond."""
+    return mb_per_s * MB_DEC / S
+
+
+def transfer_ns(nbytes: int, mb_per_s: float) -> int:
+    """Time (ns, rounded up) to move ``nbytes`` at ``mb_per_s`` MB/s."""
+    if nbytes <= 0:
+        return 0
+    rate = bytes_per_ns(mb_per_s)
+    return max(1, int(round(nbytes / rate)))
+
+
+def mb_per_s(nbytes: int, elapsed_ns: int) -> float:
+    """Average decimal MB/s for ``nbytes`` moved in ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes / MB_DEC / (elapsed_ns / S)

@@ -1,0 +1,45 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`~repro.workloads.distributions` -- the request-size mix of the
+  production system (web pages 32 KB, thumbnails 128 KB, images 512 KB;
+  write sizes 100 KB - 1 MB for Figure 14);
+* :mod:`~repro.workloads.keys` -- key-sequence generators (sequential,
+  uniform, zipfian for the skewed-load ablation);
+* :mod:`~repro.workloads.generators` -- closed-loop device drivers used
+  by the microbenchmarks (Table 4, Figures 7-8);
+* :mod:`~repro.workloads.traces` -- record/replay of request traces.
+"""
+
+from repro.workloads.distributions import (
+    FIG12_REQUEST_SIZES,
+    FIG14_WRITE_SIZES,
+    SizeDistribution,
+)
+from repro.workloads.generators import (
+    drive_conventional_reads,
+    drive_conventional_writes,
+    drive_sdf_reads,
+    drive_sdf_writes,
+)
+from repro.workloads.keys import (
+    sequential_keys,
+    uniform_keys,
+    zipfian_keys,
+)
+from repro.workloads.traces import Trace, TraceEvent, replay_on_sdf
+
+__all__ = [
+    "SizeDistribution",
+    "FIG12_REQUEST_SIZES",
+    "FIG14_WRITE_SIZES",
+    "sequential_keys",
+    "uniform_keys",
+    "zipfian_keys",
+    "drive_sdf_reads",
+    "drive_sdf_writes",
+    "drive_conventional_reads",
+    "drive_conventional_writes",
+    "Trace",
+    "TraceEvent",
+    "replay_on_sdf",
+]

@@ -1,0 +1,86 @@
+"""Request-size distributions from the paper's workloads.
+
+S3.3.1: "These request sizes [32 KB, 128 KB, and 512 KB] are
+representative for web pages, thumbnails, and images, respectively."
+S3.3.3: write request sizes are "primarily in the range between 100 KB
+and 1 MB".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.units import KIB
+
+#: Figure 12's request-size sweep: web page / thumbnail / image.
+FIG12_REQUEST_SIZES = {
+    "web-page": 32 * KIB,
+    "thumbnail": 128 * KIB,
+    "image": 512 * KIB,
+}
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A discrete or continuous request-size distribution.
+
+    * ``fixed=N`` -- every request is N bytes.
+    * ``choices=[...]`` (+ optional ``weights``) -- sampled discretely.
+    * ``lo/hi`` -- log-uniform between the bounds (heavy-ish tail, a
+      reasonable stand-in for mixed media sizes).
+    """
+
+    fixed: Optional[int] = None
+    choices: Optional[Sequence[int]] = None
+    weights: Optional[Sequence[float]] = None
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def __post_init__(self):
+        modes = sum(
+            1
+            for cond in (
+                self.fixed is not None,
+                self.choices is not None,
+                self.lo is not None or self.hi is not None,
+            )
+            if cond
+        )
+        if modes != 1:
+            raise ValueError("specify exactly one of fixed/choices/lo+hi")
+        if self.fixed is not None and self.fixed < 1:
+            raise ValueError("fixed size must be >= 1")
+        if self.choices is not None:
+            if not self.choices or any(c < 1 for c in self.choices):
+                raise ValueError("choices must be non-empty positive sizes")
+            if self.weights is not None and len(self.weights) != len(
+                self.choices
+            ):
+                raise ValueError("weights must match choices")
+        if self.lo is not None or self.hi is not None:
+            if self.lo is None or self.hi is None or not 0 < self.lo <= self.hi:
+                raise ValueError("need 0 < lo <= hi")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one size from the distribution."""
+        if self.fixed is not None:
+            return self.fixed
+        if self.choices is not None:
+            weights = None
+            if self.weights is not None:
+                total = float(sum(self.weights))
+                weights = [w / total for w in self.weights]
+            return int(rng.choice(self.choices, p=weights))
+        log_lo, log_hi = np.log(self.lo), np.log(self.hi)
+        return int(np.exp(rng.uniform(log_lo, log_hi)))
+
+    def mean_estimate(self, rng: np.random.Generator, n: int = 2000) -> float:
+        """Monte-Carlo estimate of the distribution's mean size."""
+        return float(np.mean([self.sample(rng) for _ in range(n)]))
+
+
+#: Figure 14's client write sizes: 100 KB - 1 MB.
+FIG14_WRITE_SIZES = SizeDistribution(lo=100 * 1024, hi=1024 * 1024)

@@ -1,0 +1,56 @@
+"""Key-sequence generators.
+
+The paper's clients pick keys "randomly and uniformly" from a slice's
+range (S3.3.1); index building scans sequentially (S3.3.2).  The
+zipfian generator supports the skewed-workload ablation that motivates
+the paper's future-work load-balance-aware scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def sequential_keys(lo: int, hi: int) -> Iterator[int]:
+    """lo, lo+1, ..., hi-1 (one full scan of the range)."""
+    if not lo < hi:
+        raise ValueError("empty key range")
+    return iter(range(lo, hi))
+
+
+def uniform_keys(
+    lo: int, hi: int, rng: np.random.Generator
+) -> Iterator[int]:
+    """Endless uniformly random keys in [lo, hi)."""
+    if not lo < hi:
+        raise ValueError("empty key range")
+    while True:
+        yield int(rng.integers(lo, hi))
+
+
+def zipfian_keys(
+    lo: int,
+    hi: int,
+    rng: np.random.Generator,
+    theta: float = 0.99,
+    max_rank: int = 10_000,
+) -> Iterator[int]:
+    """Endless zipf-skewed keys in [lo, hi) (rank-1 key is hottest).
+
+    Uses a truncated zipf over ``max_rank`` ranks mapped into the range,
+    which keeps sampling O(1) with a precomputed CDF.
+    """
+    if not lo < hi:
+        raise ValueError("empty key range")
+    if not 0 < theta < 2:
+        raise ValueError("theta should be in (0, 2)")
+    n_ranks = min(max_rank, hi - lo)
+    weights = 1.0 / np.arange(1, n_ranks + 1) ** theta
+    cdf = np.cumsum(weights / weights.sum())
+    # A fixed pseudo-random permutation spreads hot ranks over the range.
+    perm = np.random.default_rng(12345).permutation(n_ranks)
+    while True:
+        rank = int(np.searchsorted(cdf, rng.random()))
+        yield lo + int(perm[rank]) % (hi - lo)

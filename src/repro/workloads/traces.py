@@ -1,0 +1,134 @@
+"""Request-trace record and replay.
+
+Production tuning at Baidu relies on replaying captured request streams
+against candidate configurations; this module provides the equivalent:
+a :class:`Trace` of timestamped operations that can be replayed against
+an SDF with either original timing (open loop) or as fast as the device
+allows (closed loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.devices.sdf import SDFDevice
+from repro.sim import AllOf, Simulator
+from repro.sim.stats import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged operation."""
+
+    at_ns: int
+    op: str  # "read" | "write" | "erase"
+    channel: int
+    block: int
+    page_offset: int = 0
+    n_pages: int = 1
+
+    def __post_init__(self):
+        if self.op not in ("read", "write", "erase"):
+            raise ValueError(f"unknown op {self.op!r}")
+        if self.at_ns < 0:
+            raise ValueError("negative timestamp")
+
+
+class Trace:
+    """An append-only, time-ordered sequence of events."""
+
+    def __init__(self, events: Optional[List[TraceEvent]] = None):
+        self.events: List[TraceEvent] = []
+        for event in events or []:
+            self.append(event)
+
+    def append(self, event: TraceEvent) -> None:
+        """Append one event (must not go backwards in time)."""
+        if self.events and event.at_ns < self.events[-1].at_ns:
+            raise ValueError("trace events must be time-ordered")
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def duration_ns(self) -> int:
+        """Timestamp of the last event (0 if empty)."""
+        return self.events[-1].at_ns if self.events else 0
+
+    def scaled(self, time_factor: float) -> "Trace":
+        """Speed up (factor < 1) or slow down the arrival process."""
+        if time_factor <= 0:
+            raise ValueError("time_factor must be positive")
+        return Trace(
+            [
+                TraceEvent(
+                    int(event.at_ns * time_factor),
+                    event.op,
+                    event.channel,
+                    event.block,
+                    event.page_offset,
+                    event.n_pages,
+                )
+                for event in self.events
+            ]
+        )
+
+
+def replay_on_sdf(
+    sim: Simulator,
+    sdf: SDFDevice,
+    trace: Trace,
+    open_loop: bool = True,
+) -> LatencyRecorder:
+    """Replay a trace; returns the per-request latency recorder.
+
+    Open loop: each event is issued at its recorded timestamp (late
+    events are issued immediately).  Closed loop: events are issued
+    back-to-back, one outstanding request per channel.
+    """
+    latencies = LatencyRecorder("replay")
+
+    def issue(event: TraceEvent):
+        channel = sdf.channels[event.channel]
+        start = sim.now
+        if event.op == "read":
+            yield from channel.read(event.block, event.page_offset, event.n_pages)
+        elif event.op == "write":
+            if channel.ftl.is_mapped(event.block):
+                yield from channel.erase(event.block)
+            yield from channel.write(event.block)
+        else:
+            if channel.ftl.is_mapped(event.block):
+                yield from channel.erase(event.block)
+        latencies.record(sim.now - start)
+
+    if open_loop:
+
+        def dispatcher():
+            started = []
+            base = sim.now
+            for event in trace.events:
+                target = base + event.at_ns
+                if target > sim.now:
+                    yield sim.timeout(target - sim.now)
+                started.append(sim.process(issue(event)))
+            if started:
+                yield AllOf(sim, started)
+
+        sim.run(until=sim.process(dispatcher()))
+    else:
+        per_channel: dict = {}
+        for event in trace.events:
+            per_channel.setdefault(event.channel, []).append(event)
+
+        def channel_worker(events):
+            for event in events:
+                yield from issue(event)
+
+        procs = [
+            sim.process(channel_worker(events))
+            for events in per_channel.values()
+        ]
+        sim.run(until=AllOf(sim, procs))
+    return latencies

@@ -1,0 +1,177 @@
+"""Unit tests for the analytic models (bandwidth, capacity, cost,
+reliability, reporting)."""
+
+import pytest
+
+from repro.analysis import (
+    CapacityBreakdown,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    commodity_capacity,
+    expected_fleet_uncorrectable_events,
+    format_table,
+    raw_read_bandwidth_mb_s,
+    raw_write_bandwidth_mb_s,
+    replication_loss_probability,
+    sdf_capacity,
+    sdf_raw_bandwidths,
+)
+from repro.analysis.cost import cost_reduction_vs_commodity
+from repro.analysis.reliability import wear_for_target_fleet_events
+from repro.ecc.model import EccModel
+from repro.nand.catalog import (
+    HIGH_END_CHIP_GEOMETRY,
+    MICRON_34NM_MLC,
+    MICRON_25NM_MLC,
+    SDF_CHIP_GEOMETRY,
+)
+
+
+def test_sdf_raw_bandwidths_match_section_3_2():
+    read, write = sdf_raw_bandwidths()
+    assert read == pytest.approx(1670, rel=0.03)
+    assert write == pytest.approx(1010, rel=0.05)
+
+
+def test_high_end_raw_bandwidths_match_table1():
+    # Memblaze Q520 class: 32 channels x 16 planes -> 1600/1500 MB/s.
+    read = raw_read_bandwidth_mb_s(
+        32, 16, HIGH_END_CHIP_GEOMETRY, MICRON_34NM_MLC
+    )
+    write = raw_write_bandwidth_mb_s(
+        32, 16, HIGH_END_CHIP_GEOMETRY, MICRON_34NM_MLC
+    )
+    assert read == pytest.approx(1600, rel=0.08)
+    assert write == pytest.approx(1500, rel=0.08)
+
+
+def test_bandwidth_validation():
+    with pytest.raises(ValueError):
+        raw_read_bandwidth_mb_s(0, 4, SDF_CHIP_GEOMETRY, MICRON_25NM_MLC)
+    with pytest.raises(ValueError):
+        raw_write_bandwidth_mb_s(44, 0, SDF_CHIP_GEOMETRY, MICRON_25NM_MLC)
+
+
+def test_sdf_capacity_is_99_percent():
+    assert sdf_capacity().user_fraction == pytest.approx(0.99)
+
+
+def test_commodity_capacity_is_50_to_70_percent():
+    # The paper's typical configurations.
+    low = commodity_capacity(op_ratio=0.40, parity_group_size=11)
+    high = commodity_capacity(op_ratio=0.25, parity_group_size=11)
+    assert 0.50 <= low.user_fraction <= 0.60
+    assert 0.65 <= high.user_fraction <= 0.70
+
+
+def test_capacity_breakdown_validation():
+    with pytest.raises(ValueError):
+        CapacityBreakdown(0.5, 0.2, 0.2, 0.2)  # sums to 1.1
+    with pytest.raises(ValueError):
+        CapacityBreakdown(1.2, -0.2, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        commodity_capacity(op_ratio=1.0)
+    with pytest.raises(ValueError):
+        sdf_capacity(reserve_fraction=1.0)
+
+
+def test_capacity_user_bytes():
+    breakdown = sdf_capacity()
+    assert breakdown.user_bytes(1000) == 990
+
+
+def test_cost_model_basic_arithmetic():
+    model = CostModel(
+        flash_usd_per_raw_gb=1.0,
+        controller_usd=0.0,
+        dram_usd_per_gb=0.0,
+        assembly_usd=0.0,
+    )
+    assert model.device_cost(100) == 100
+    breakdown = sdf_capacity(reserve_fraction=0.0)
+    assert model.usd_per_usable_gb(100, breakdown) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        model.device_cost(0)
+
+
+def test_cost_reduction_matches_paper_range():
+    """S2.2: 20-50% per-GB saving depending on the comparison OP."""
+    light = cost_reduction_vs_commodity(
+        sdf_capacity(), commodity_capacity(op_ratio=0.10)
+    )
+    heavy = cost_reduction_vs_commodity(
+        sdf_capacity(), commodity_capacity(op_ratio=0.40)
+    )
+    assert 0.15 <= light <= 0.40
+    assert 0.40 <= heavy <= 0.60
+    assert heavy > light
+
+
+def test_fleet_reliability_matches_anecdote():
+    """2000+ devices, 6 months, ~1 uncorrectable event: possible with a
+    young fleet and strong BCH."""
+    young = expected_fleet_uncorrectable_events(
+        n_devices=2000,
+        months=6,
+        page_reads_per_device_per_day=2e8,  # ~19k reads/s/device
+        mean_pe_cycles=100,
+    )
+    assert young < 1.0
+    worn = expected_fleet_uncorrectable_events(
+        n_devices=2000,
+        months=6,
+        page_reads_per_device_per_day=2e8,
+        mean_pe_cycles=9000,
+    )
+    assert worn > young
+
+
+def test_wear_inversion_finds_crossover():
+    wear = wear_for_target_fleet_events(
+        target_events=1.0,
+        n_devices=2000,
+        months=6,
+        page_reads_per_device_per_day=2e8,
+    )
+    ecc = EccModel()
+    below = expected_fleet_uncorrectable_events(
+        2000, 6, 2e8, max(wear - 200, 0), ecc
+    )
+    above = expected_fleet_uncorrectable_events(2000, 6, 2e8, wear + 200, ecc)
+    assert below <= 1.0 <= above * 1.5
+
+
+def test_replication_loss_probability():
+    assert replication_loss_probability(1e-3, 3) == pytest.approx(1e-9)
+    assert replication_loss_probability(0.0, 3) == 0.0
+    with pytest.raises(ValueError):
+        replication_loss_probability(1.5, 3)
+    with pytest.raises(ValueError):
+        replication_loss_probability(0.5, 0)
+
+
+def test_reliability_validation():
+    with pytest.raises(ValueError):
+        expected_fleet_uncorrectable_events(0, 6, 1e8, 100)
+    with pytest.raises(ValueError):
+        wear_for_target_fleet_events(0, 2000, 6, 1e8)
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "mb_s"],
+        [["sdf", 1590.0], ["gen3", 1200.0]],
+        title="Table 4",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Table 4"
+    assert "name" in lines[1] and "mb_s" in lines[1]
+    assert len(lines) == 5
+    assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])

@@ -1,0 +1,79 @@
+"""Unit tests for the NIC/switch model."""
+
+import pytest
+
+from repro.cluster import Network, Nic, TEN_GBE_MB_S
+from repro.sim import MB, Simulator
+from repro.sim.units import mb_per_s
+
+
+def test_single_transfer_rate():
+    sim = Simulator()
+    network = Network(sim, latency_ns=0)
+    a, b = Nic(sim), Nic(sim)
+    sim.run(until=sim.process(network.send(a, b, 64 * MB)))
+    # Cut-through switching: a single flow runs at line rate.
+    assert mb_per_s(64 * MB, sim.now) == pytest.approx(
+        TEN_GBE_MB_S, rel=0.02
+    )
+
+
+def test_switch_latency_added_once():
+    sim = Simulator()
+    network = Network(sim, latency_ns=50_000)
+    a, b = Nic(sim), Nic(sim)
+    sim.run(until=sim.process(network.send(a, b, 0)))
+    assert sim.now >= 50_000
+
+
+def test_concurrent_flows_share_receiver():
+    sim = Simulator()
+    network = Network(sim, latency_ns=0)
+    server = Nic(sim, lanes=1)
+    clients = [Nic(sim) for _ in range(2)]
+    procs = [
+        sim.process(network.send(client, server, 16 * MB))
+        for client in clients
+    ]
+    sim.run(until=sim.all_of(procs))
+    # 32 MB through one shared rx lane dominates: ~ line rate aggregate.
+    aggregate = mb_per_s(32 * MB, sim.now)
+    assert aggregate == pytest.approx(TEN_GBE_MB_S, rel=0.1)
+
+
+def test_server_dual_nic_doubles_rx_capacity():
+    def run(lanes):
+        sim = Simulator()
+        network = Network(sim, latency_ns=0)
+        server = Nic(sim, lanes=lanes)
+        clients = [Nic(sim) for _ in range(4)]
+        procs = [
+            sim.process(network.send(client, server, 8 * MB))
+            for client in clients
+        ]
+        sim.run(until=sim.all_of(procs))
+        return sim.now
+
+    assert run(2) < run(1) * 0.7
+
+
+def test_message_accounting():
+    sim = Simulator()
+    network = Network(sim)
+    a, b = Nic(sim), Nic(sim)
+    sim.run(until=sim.process(network.send(a, b, 1000)))
+    assert network.messages == 1
+    assert network.bytes_moved == 1000
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Nic(sim, mb_per_s=0)
+    with pytest.raises(ValueError):
+        Nic(sim, lanes=0)
+    with pytest.raises(ValueError):
+        Network(sim, latency_ns=-1)
+    network = Network(sim)
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(network.send(Nic(sim), Nic(sim), -5)))

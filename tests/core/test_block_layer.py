@@ -1,0 +1,165 @@
+"""Unit tests for the user-space block layer and the public facade."""
+
+import pytest
+
+from repro import build_sdf_system
+from repro.core import ErasePolicy, LeastLoadedPlacement, RoundRobinPlacement
+from repro.core.block_layer import BlockNotFoundError
+from repro.sim import MS
+
+
+def small_system(**kwargs):
+    kwargs.setdefault("capacity_scale", 0.004)
+    kwargs.setdefault("n_channels", 4)
+    return build_sdf_system(**kwargs)
+
+
+def test_allocate_ids_are_unique_and_sequential():
+    system = small_system()
+    ids = [system.block_layer.allocate_id() for _ in range(5)]
+    assert ids == [0, 1, 2, 3, 4]
+
+
+def test_put_get_roundtrip_bytes():
+    system = small_system()
+    payload = bytes(range(256)) * 100
+    block_id = system.put(payload)
+    assert system.get(block_id, 0, len(payload)) == payload
+
+
+def test_get_with_offset_crossing_pages():
+    system = small_system()
+    page = system.block_layer.page_size
+    payload = b"A" * page + b"B" * page + b"C" * page
+    block_id = system.put(payload)
+    window = system.get(block_id, page - 3, 6)
+    assert window == b"AAABBB"
+
+
+def test_consecutive_ids_round_robin_over_channels():
+    system = small_system()
+    for _ in range(8):
+        system.put(None)
+    channels = [
+        system.block_layer.location_of(block_id).channel
+        for block_id in range(8)
+    ]
+    assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_least_loaded_placement_spreads_blocks():
+    system = small_system(placement=LeastLoadedPlacement())
+    for _ in range(8):
+        system.put(None)
+    channels = [
+        system.block_layer.location_of(block_id).channel
+        for block_id in range(8)
+    ]
+    assert sorted(set(channels)) == [0, 1, 2, 3]
+    assert all(channels.count(c) == 2 for c in range(4))
+
+
+def test_rewrite_same_id_frees_old_block():
+    system = small_system()
+    block_id = system.put(b"first")
+    first_location = system.block_layer.location_of(block_id)
+    system.put(b"second", block_id=block_id)
+    assert system.get(block_id, 0, 6) == b"second"
+    assert system.block_layer.stored_blocks == 1
+    # The freed block is erased in the background and reused eventually.
+    assert first_location is not None
+
+
+def test_free_then_read_raises():
+    system = small_system()
+    block_id = system.put(b"data")
+    system.delete(block_id)
+    with pytest.raises(BlockNotFoundError):
+        system.get(block_id)
+    with pytest.raises(BlockNotFoundError):
+        system.delete(block_id)
+
+
+def test_background_erase_returns_blocks_to_ready_pool():
+    system = small_system(n_channels=1)
+    layer = system.block_layer
+    n_blocks = system.device.ftls[0].n_logical_blocks
+    # Fill the whole channel, then free everything.
+    ids = [system.put(None) for _ in range(n_blocks)]
+    for block_id in ids:
+        system.delete(block_id)
+    system.sim.run(until=system.sim.now + 500 * MS)
+    assert layer.background_erases == n_blocks
+    # And the channel is fully writable again.
+    for _ in range(n_blocks):
+        system.put(None)
+
+
+def test_write_blocks_until_background_erase_frees_space():
+    """When every block is dirty, a write waits for the eraser rather
+    than failing."""
+    system = small_system(n_channels=1)
+    n_blocks = system.device.ftls[0].n_logical_blocks
+    ids = [system.put(None) for _ in range(n_blocks)]
+    for block_id in ids:
+        system.delete(block_id)
+    # Immediately write again: must succeed after erases complete.
+    block_id = system.put(b"after-erase")
+    assert system.get(block_id, 0, 11) == b"after-erase"
+
+
+def test_inline_erase_policy_pays_erase_on_write_path():
+    system = small_system(n_channels=1, erase_policy=ErasePolicy.INLINE)
+    n_blocks = system.device.ftls[0].n_logical_blocks
+    ids = [system.put(None) for _ in range(n_blocks)]
+    for block_id in ids:
+        system.run(system.block_layer.free(block_id))
+    erases_before = system.device.stats.erase_latency
+    n_before = len(erases_before)
+    system.put(None)  # must erase inline
+    assert len(system.device.stats.erase_latency) == n_before + 1
+
+
+def test_oversized_payload_rejected():
+    system = small_system()
+    too_big = b"x" * (system.block_layer.block_bytes + 1)
+    with pytest.raises(ValueError, match="exceeds"):
+        system.put(too_big)
+
+
+def test_bad_page_list_rejected():
+    system = small_system()
+    with pytest.raises(ValueError, match="page list"):
+        system.put(None, block_id=None) if False else system.run(
+            system.block_layer.write(0, ["just-one-page"])
+        )
+
+
+def test_read_range_validation():
+    system = small_system()
+    block_id = system.put(b"abc")
+    with pytest.raises(ValueError):
+        system.get(block_id, -1, 2)
+    with pytest.raises(ValueError):
+        system.get(block_id, 0, system.block_layer.block_bytes + 1)
+    assert system.get(block_id, 5, 0) == b""
+
+
+def test_placeholder_write_reads_back_as_payload_list():
+    system = small_system()
+    block_id = system.put(None)
+    result = system.get(block_id, 0, system.block_layer.page_size)
+    assert result == [None]
+
+
+def test_round_robin_and_least_loaded_choose_valid_channels():
+    rr = RoundRobinPlacement()
+    assert rr.choose(7, [0, 0, 0, 0]) == 3
+    ll = LeastLoadedPlacement()
+    assert ll.choose(0, [2, 0, 1]) == 1
+
+
+def test_facade_repr_mentions_state():
+    system = small_system()
+    system.put(b"x")
+    assert "stored_blocks=1" in repr(system)

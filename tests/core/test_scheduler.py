@@ -1,0 +1,49 @@
+"""Unit tests for placement/erase scheduling policies."""
+
+import pytest
+
+from repro.core import (
+    ErasePolicy,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    read_priority_priorities,
+)
+from repro.ftl.ops import OpKind
+
+
+def test_round_robin_is_modular():
+    policy = RoundRobinPlacement()
+    loads = [0] * 44
+    assert [policy.choose(i, loads) for i in range(5)] == [0, 1, 2, 3, 4]
+    assert policy.choose(44, loads) == 0
+    assert policy.choose(45, loads) == 1
+
+
+def test_round_robin_ignores_load():
+    policy = RoundRobinPlacement()
+    assert policy.choose(0, [100, 0, 0]) == 0  # hash wins, even if loaded
+
+
+def test_least_loaded_prefers_idle_channels():
+    policy = LeastLoadedPlacement()
+    assert policy.choose(0, [3, 1, 2]) == 1
+    assert policy.choose(1, [3, 0, 0]) in (1, 2)
+
+
+def test_least_loaded_rotates_ties():
+    policy = LeastLoadedPlacement()
+    picks = [policy.choose(i, [0, 0, 0, 0]) for i in range(8)]
+    # All channels used, none starved.
+    assert sorted(set(picks)) == [0, 1, 2, 3]
+
+
+def test_read_priority_ordering():
+    priorities = read_priority_priorities()
+    assert priorities[OpKind.READ] < priorities[OpKind.PROGRAM]
+    assert priorities[OpKind.PROGRAM] < priorities[OpKind.ERASE]
+
+
+def test_erase_policy_values():
+    assert ErasePolicy.BACKGROUND.value == "background"
+    assert ErasePolicy.INLINE.value == "inline"
+    assert ErasePolicy("inline") is ErasePolicy.INLINE

@@ -1,0 +1,95 @@
+"""Sanity checks on the device catalog against Tables 1-3."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    raw_read_bandwidth_mb_s,
+    raw_write_bandwidth_mb_s,
+)
+from repro.devices import (
+    HUAWEI_GEN3_SPEC,
+    INTEL_320_SPEC,
+    MEMBLAZE_Q520_SPEC,
+    build_sdf,
+)
+from repro.devices.catalog import sdf_spec
+from repro.sim import Simulator
+from repro.sim.units import GIB
+
+
+def planes(spec):
+    return spec.chips_per_channel * spec.geometry.planes_per_chip
+
+
+def test_sdf_matches_table3():
+    spec = sdf_spec()
+    assert spec["n_channels"] == 44
+    assert spec["chips_per_channel"] == 2
+    geo = spec["geometry"]
+    assert geo.page_size == 8 * 1024  # 8 KB page
+    assert geo.block_size == 2 * 1024 * 1024  # 2 MB block
+    assert geo.chip_size == 8 * GIB  # 8 GB chip
+    # 16 GB per channel, 704 GB per device.
+    assert 2 * geo.chip_size == 16 * GIB
+    assert 44 * 2 * geo.chip_size == 704 * GIB
+
+
+def test_full_scale_sdf_capacity_and_channels():
+    sdf = build_sdf(Simulator(), capacity_scale=1.0)
+    assert sdf.raw_bytes == 704 * GIB
+    assert sdf.n_channels == 44
+    assert sdf.capacity_utilization == pytest.approx(0.99, abs=0.002)
+    assert sdf.ftls[0].pages_per_logical_block == 1024  # 8 MB / 8 KB
+    assert sdf.ftls[0].logical_block_bytes == 8 * 1024 * 1024
+
+
+def test_huawei_gen3_is_sdf_hardware_with_conventional_firmware():
+    # "The Huawei Gen3 ... structure is the same as that of SDF."
+    spec = HUAWEI_GEN3_SPEC
+    sdf = sdf_spec()
+    assert spec.n_channels == sdf["n_channels"]
+    assert spec.chips_per_channel == sdf["chips_per_channel"]
+    assert spec.geometry == sdf["geometry"]
+    assert spec.timing == sdf["timing"]
+    # ... but conventional features on top.
+    assert spec.op_ratio == 0.25
+    assert spec.stripe_pages == 1  # 8 KB striping
+    assert spec.parity_group_size == 11
+    assert spec.dram_buffer_bytes == 1 << 30
+
+
+def test_intel_320_shape():
+    spec = INTEL_320_SPEC
+    assert spec.n_channels == 10
+    assert planes(spec) == 4
+    assert spec.link.name.startswith("SATA")
+    # 160 GB raw.
+    raw = spec.n_channels * spec.chips_per_channel * spec.geometry.chip_size
+    assert raw == 160 * GIB
+
+
+def test_memblaze_shape_matches_table1():
+    spec = MEMBLAZE_Q520_SPEC
+    assert spec.n_channels == 32
+    assert planes(spec) == 16
+    read = raw_read_bandwidth_mb_s(
+        spec.n_channels, planes(spec), spec.geometry, spec.timing
+    )
+    write = raw_write_bandwidth_mb_s(
+        spec.n_channels, planes(spec), spec.geometry, spec.timing
+    )
+    assert read == pytest.approx(1600, rel=0.08)
+    assert write == pytest.approx(1500, rel=0.08)
+
+
+def test_gen3_raw_bandwidths_match_table1():
+    spec = HUAWEI_GEN3_SPEC
+    read = raw_read_bandwidth_mb_s(
+        spec.n_channels, planes(spec), spec.geometry, spec.timing
+    )
+    write = raw_write_bandwidth_mb_s(
+        spec.n_channels, planes(spec), spec.geometry, spec.timing
+    )
+    # Table 1: 1600/950 (our bus model gives slightly more on reads).
+    assert read == pytest.approx(1650, rel=0.06)
+    assert write == pytest.approx(990, rel=0.06)

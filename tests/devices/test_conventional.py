@@ -1,0 +1,194 @@
+"""Unit/integration tests for the conventional-SSD baseline."""
+
+import pytest
+
+from repro.devices import (
+    ConventionalSSD,
+    HUAWEI_GEN3_SPEC,
+    INTEL_320_SPEC,
+    build_conventional,
+)
+from repro.sim import MS, Simulator, US
+from repro.sim.units import mb_per_s
+
+SCALE = 0.004  # 8 blocks per plane: tiny device, same timing behaviour
+
+
+def gen3(sim, **kwargs):
+    return build_conventional(sim, HUAWEI_GEN3_SPEC, capacity_scale=SCALE, **kwargs)
+
+
+def test_spec_scaling_touches_only_capacity():
+    scaled = HUAWEI_GEN3_SPEC.scaled(0.01)
+    assert scaled.geometry.page_size == HUAWEI_GEN3_SPEC.geometry.page_size
+    assert scaled.geometry.blocks_per_plane < HUAWEI_GEN3_SPEC.geometry.blocks_per_plane
+    assert scaled.timing == HUAWEI_GEN3_SPEC.timing
+
+
+def test_capacity_reflects_op_and_parity():
+    sim = Simulator()
+    device = gen3(sim)
+    # 4/44 channels are parity; 25% OP on the rest.
+    expected = device.raw_bytes * (40 / 44) * 0.75
+    assert device.user_bytes == pytest.approx(expected, rel=0.01)
+    assert device.capacity_utilization == pytest.approx(0.68, abs=0.02)
+
+
+def test_write_then_read_roundtrip():
+    sim = Simulator()
+    device = gen3(sim, store_data=True)
+
+    def scenario():
+        yield from device.write(0, 2, data="payload")
+        yield from device.drain()
+        return (yield from device.read(0, 2))
+
+    data = sim.run(until=sim.process(scenario()))
+    assert data == ["payload", "payload"]
+
+
+def test_buffered_write_completes_fast_when_buffer_empty():
+    """The Huawei Gen3's DRAM buffer: an 8 MB write is acknowledged in
+    milliseconds (wire + buffering), not the ~360 ms flash takes."""
+    sim = Simulator()
+    device = gen3(sim)
+    n_pages = (8 << 20) // device.page_size
+
+    def scenario():
+        yield from device.write(0, n_pages)
+
+    sim.run(until=sim.process(scenario()))
+    assert device.stats.write_latency.mean < 40 * MS
+
+
+def test_unbuffered_write_waits_for_flash():
+    sim = Simulator()
+    spec = HUAWEI_GEN3_SPEC.scaled(SCALE)
+    from dataclasses import replace
+
+    device = ConventionalSSD(sim, replace(spec, dram_buffer_bytes=0))
+
+    def scenario():
+        yield from device.write(0, 4)
+
+    sim.run(until=sim.process(scenario()))
+    # 4 pages, unbuffered: at least one full tPROG (1.4 ms).
+    assert device.stats.write_latency.mean > 1 * MS
+
+
+def test_read_envelope_matches_table4_calibration():
+    """Single-request read latency fits r + n*c + flash + wire, which is
+    what makes the Gen3's Table 4 size sweep come out right."""
+    sim = Simulator()
+    device = gen3(sim)
+    device.prefill(0.2)
+    spec = device.spec
+    latencies = {}
+
+    def scenario():
+        for n_pages in (1, 8):
+            start = sim.now
+            yield from device.read(0, n_pages)
+            latencies[n_pages] = sim.now - start
+
+    sim.run(until=sim.process(scenario()))
+    # Controller cost should appear in the delta between 8- and 1-page reads.
+    delta = latencies[8] - latencies[1]
+    assert delta >= 7 * spec.controller_read_ns_per_page
+
+
+def test_gc_interference_creates_write_latency_variance():
+    """On a nearly-full device, sustained writes hit GC and the
+    (unbuffered) write latency spread widens -- Figure 8's mechanism."""
+    from dataclasses import replace
+
+    sim = Simulator()
+    spec = replace(
+        HUAWEI_GEN3_SPEC.scaled(0.004),
+        dram_buffer_bytes=0,
+        n_channels=4,
+        parity_group_size=None,
+    )
+    device = ConventionalSSD(sim, spec)
+    device.prefill(1.0)
+    # Functionally churn random overwrites until every channel sits at
+    # the GC threshold, so the *timed* writes below all contend with GC.
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    while max(
+        device.ftl.free_blocks(c) for c in range(spec.n_channels)
+    ) > device.ftl.gc_free_blocks:
+        device.ftl.write(int(rng.integers(device.user_pages)), None)
+
+    def writer():
+        for burst in range(60):
+            lpn = int(rng.integers(device.user_pages))
+            yield from device.write(lpn, 4)
+
+    sim.run(until=sim.process(writer()))
+    rec = device.stats.write_latency
+    timed_gc_runs = device.ftl.gc_runs
+    assert timed_gc_runs > 0
+    assert rec.maximum > 2 * rec.minimum  # spiky, not uniform
+
+
+def test_striping_spreads_a_large_read_across_channels():
+    sim = Simulator()
+    device = gen3(sim)
+    device.prefill(0.1)
+
+    def scenario():
+        yield from device.read(0, 64)  # 512 KB
+
+    sim.run(until=sim.process(scenario()))
+    busy_channels = sum(
+        1 for engine in device.engines if engine.ops_executed.value > 0
+    )
+    assert busy_channels >= 30  # 64 pages over 40 data channels
+
+
+def test_sequential_read_throughput_near_1_2_gb_per_s():
+    """Table 4 / Table 1: Gen3 streams large reads at ~1.2 GB/s."""
+    sim = Simulator()
+    device = gen3(sim)
+    device.prefill(0.5)
+    n_requests, pages_per_request = 6, 1024  # 6 x 8 MB
+
+    def reader():
+        lpn = 0
+        for _ in range(n_requests):
+            yield from device.read(lpn, pages_per_request)
+            lpn += pages_per_request
+
+    sim.run(until=sim.process(reader()))
+    total = n_requests * pages_per_request * device.page_size
+    assert mb_per_s(total, sim.now) == pytest.approx(1200, rel=0.08)
+
+
+def test_intel_320_read_stream_is_sata_class():
+    sim = Simulator()
+    device = build_conventional(sim, INTEL_320_SPEC, capacity_scale=0.01)
+    device.prefill(0.3)
+
+    def reader():
+        for request in range(4):
+            yield from device.read(request * 256, 256)  # 2 MB requests
+
+    sim.run(until=sim.process(reader()))
+    total = 4 * 256 * device.page_size
+    bandwidth = mb_per_s(total, sim.now)
+    assert 150 < bandwidth < 240
+
+
+def test_validation():
+    sim = Simulator()
+    device = gen3(sim)
+
+    def bad_read():
+        yield from device.read(0, 0)
+
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(bad_read()))
+    with pytest.raises(ValueError):
+        device.prefill(-0.1)

@@ -1,0 +1,166 @@
+"""Unit and property tests for the BCH codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import BCHCode, UncorrectableError
+
+
+@pytest.fixture(scope="module")
+def bch_15_2():
+    """BCH(15, 7) correcting 2 errors."""
+    return BCHCode(m=4, t=2)
+
+
+@pytest.fixture(scope="module")
+def bch_63_5():
+    """BCH(63, ~33) correcting 5 errors."""
+    return BCHCode(m=6, t=5)
+
+
+def test_known_code_parameters(bch_15_2):
+    # BCH(15, 7, t=2) is a classic textbook code.
+    assert bch_15_2.n == 15
+    assert bch_15_2.k == 7
+    assert bch_15_2.parity_bits == 8
+
+
+def test_generator_polynomial_of_15_7_code(bch_15_2):
+    # g(x) = x^8 + x^7 + x^6 + x^4 + 1 for the (15,7) 2-error BCH code.
+    assert bch_15_2.generator == [1, 0, 0, 0, 1, 0, 1, 1, 1]
+
+
+def test_encode_is_systematic(bch_15_2):
+    message = [1, 0, 1, 1, 0, 0, 1]
+    codeword = bch_15_2.encode(message)
+    assert len(codeword) == 15
+    assert codeword[bch_15_2.parity_bits :] == message
+    assert bch_15_2.extract_message(codeword) == message
+
+
+def test_codeword_has_zero_syndromes(bch_15_2):
+    codeword = bch_15_2.encode([1, 1, 1, 0, 0, 0, 1])
+    assert not any(bch_15_2.syndromes(codeword))
+
+
+def test_clean_decode_is_identity(bch_15_2):
+    codeword = bch_15_2.encode([0, 1, 0, 1, 0, 1, 0])
+    assert bch_15_2.decode(codeword) == codeword
+
+
+def test_single_error_corrected_at_every_position(bch_15_2):
+    message = [1, 0, 0, 1, 1, 0, 1]
+    codeword = bch_15_2.encode(message)
+    for position in range(15):
+        corrupted = list(codeword)
+        corrupted[position] ^= 1
+        assert bch_15_2.decode(corrupted) == codeword
+
+
+def test_double_errors_corrected(bch_15_2):
+    message = [1, 1, 0, 0, 1, 0, 1]
+    codeword = bch_15_2.encode(message)
+    for first in range(0, 15, 2):
+        for second in range(first + 1, 15, 3):
+            corrupted = list(codeword)
+            corrupted[first] ^= 1
+            corrupted[second] ^= 1
+            assert bch_15_2.decode(corrupted) == codeword
+
+
+def test_triple_errors_detected_or_miscorrected_but_flagged(bch_15_2):
+    """t+1 errors must never be silently 'corrected' into the original
+    codeword; typically the decoder raises UncorrectableError or lands on
+    a different valid codeword (detected by comparing messages)."""
+    message = [0, 0, 1, 1, 0, 1, 1]
+    codeword = bch_15_2.encode(message)
+    outcomes = {"raised": 0, "wrong_codeword": 0, "silent_correct": 0}
+    rng = np.random.default_rng(11)
+    for _ in range(50):
+        positions = rng.choice(15, size=3, replace=False)
+        corrupted = list(codeword)
+        for position in positions:
+            corrupted[position] ^= 1
+        try:
+            decoded = bch_15_2.decode(corrupted)
+            if decoded == codeword:
+                outcomes["silent_correct"] += 1
+            else:
+                outcomes["wrong_codeword"] += 1
+        except UncorrectableError:
+            outcomes["raised"] += 1
+    assert outcomes["silent_correct"] == 0
+    assert outcomes["raised"] > 0
+
+
+def test_input_validation(bch_15_2):
+    with pytest.raises(ValueError):
+        bch_15_2.encode([1] * 6)
+    with pytest.raises(ValueError):
+        bch_15_2.encode([2] * 7)
+    with pytest.raises(ValueError):
+        bch_15_2.decode([0] * 14)
+    with pytest.raises(ValueError):
+        bch_15_2.extract_message([0] * 14)
+    with pytest.raises(ValueError):
+        BCHCode(m=4, t=0)
+
+
+def test_maximal_t_degenerates_to_repetition_code():
+    # For m=4, t=7 the generator is (x^15 - 1)/(x - 1): the length-15
+    # repetition code with a single data bit.
+    code = BCHCode(m=4, t=7)
+    assert code.k == 1
+    assert code.encode([1]) == [1] * 15
+    corrupted = [1] * 15
+    for position in (0, 3, 7, 8, 11, 12, 14):  # 7 errors
+        corrupted[position] ^= 1
+    assert code.decode(corrupted) == [1] * 15
+
+
+def test_bch63_corrects_up_to_t_random_errors(bch_63_5):
+    rng = np.random.default_rng(42)
+    for trial in range(10):
+        message = list(rng.integers(0, 2, size=bch_63_5.k))
+        codeword = bch_63_5.encode(message)
+        n_errors = int(rng.integers(0, bch_63_5.t + 1))
+        positions = rng.choice(63, size=n_errors, replace=False)
+        corrupted = list(codeword)
+        for position in positions:
+            corrupted[position] ^= 1
+        decoded = bch_63_5.decode(corrupted)
+        assert decoded == codeword, f"trial {trial} with {n_errors} errors"
+        assert bch_63_5.extract_message(decoded) == message
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip_with_errors(data):
+    """encode -> corrupt (<= t bits) -> decode recovers the message."""
+    code = BCHCode(m=4, t=2)
+    message = data.draw(
+        st.lists(st.integers(0, 1), min_size=code.k, max_size=code.k)
+    )
+    n_errors = data.draw(st.integers(min_value=0, max_value=code.t))
+    positions = data.draw(
+        st.lists(
+            st.integers(0, code.n - 1),
+            min_size=n_errors,
+            max_size=n_errors,
+            unique=True,
+        )
+    )
+    codeword = code.encode(message)
+    corrupted = list(codeword)
+    for position in positions:
+        corrupted[position] ^= 1
+    assert code.extract_message(code.decode(corrupted)) == message
+
+
+def test_code_rates_scale_with_t():
+    weak = BCHCode(m=6, t=1)
+    strong = BCHCode(m=6, t=5)
+    assert weak.k > strong.k  # more correction -> fewer data bits
+    assert weak.n == strong.n == 63

@@ -1,0 +1,115 @@
+"""Unit tests for GF(2^m) arithmetic."""
+
+import pytest
+
+from repro.ecc import GF2m
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+def test_field_sizes(gf16):
+    assert gf16.order == 16
+    assert gf16.n == 15
+
+
+def test_exp_log_are_inverses(gf16):
+    for element in range(1, 16):
+        assert gf16.exp(gf16.log(element)) == element
+    for power in range(15):
+        assert gf16.log(gf16.exp(power)) == power
+
+
+def test_exp_wraps_mod_n(gf16):
+    assert gf16.exp(15) == gf16.exp(0) == 1
+    assert gf16.exp(-1) == gf16.exp(14)
+
+
+def test_add_is_xor(gf16):
+    assert gf16.add(0b1010, 0b0110) == 0b1100
+    assert gf16.add(7, 7) == 0
+
+
+def test_mul_properties(gf16):
+    for a in range(16):
+        assert gf16.mul(a, 0) == 0
+        assert gf16.mul(a, 1) == a
+    # Commutativity and associativity, spot-checked exhaustively (tiny field).
+    for a in range(16):
+        for b in range(16):
+            assert gf16.mul(a, b) == gf16.mul(b, a)
+            for c in range(0, 16, 5):
+                assert gf16.mul(gf16.mul(a, b), c) == gf16.mul(a, gf16.mul(b, c))
+
+
+def test_distributivity(gf16):
+    for a in range(16):
+        for b in range(16):
+            for c in range(0, 16, 3):
+                left = gf16.mul(a, gf16.add(b, c))
+                right = gf16.add(gf16.mul(a, b), gf16.mul(a, c))
+                assert left == right
+
+
+def test_inverse_and_division(gf16):
+    for a in range(1, 16):
+        assert gf16.mul(a, gf16.inv(a)) == 1
+        assert gf16.div(a, a) == 1
+    with pytest.raises(ZeroDivisionError):
+        gf16.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf16.div(3, 0)
+    assert gf16.div(0, 5) == 0
+
+
+def test_pow(gf16):
+    alpha = gf16.exp(1)
+    assert gf16.pow(alpha, 0) == 1
+    assert gf16.pow(alpha, 15) == 1  # order of the multiplicative group
+    assert gf16.pow(0, 0) == 1
+    assert gf16.pow(0, 3) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf16.pow(0, -1)
+
+
+def test_log_validation(gf16):
+    with pytest.raises(ValueError):
+        gf16.log(0)
+    with pytest.raises(ValueError):
+        gf16.log(16)
+
+
+def test_poly_eval(gf16):
+    # p(x) = 1 + x: p(alpha) = 1 ^ alpha.
+    alpha = gf16.exp(1)
+    assert gf16.poly_eval([1, 1], alpha) == 1 ^ alpha
+    assert gf16.poly_eval([5], 9) == 5  # constant polynomial
+
+
+def test_poly_mul_against_known_product(gf16):
+    # (1 + x)(1 + x) = 1 + x^2 over GF(2) coefficient arithmetic.
+    assert gf16.poly_mul([1, 1], [1, 1]) == [1, 0, 1]
+
+
+def test_non_primitive_polynomial_rejected():
+    # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive for m=4.
+    with pytest.raises(ValueError, match="not primitive"):
+        GF2m(4, primitive_poly=0b11111)
+
+
+def test_wrong_degree_rejected():
+    with pytest.raises(ValueError, match="degree"):
+        GF2m(4, primitive_poly=0b1011)
+
+
+def test_unknown_m_without_poly_rejected():
+    with pytest.raises(ValueError):
+        GF2m(20)
+
+
+def test_larger_fields_construct():
+    for m in (3, 5, 8, 10):
+        gf = GF2m(m)
+        assert gf.mul(gf.exp(1), gf.inv(gf.exp(1))) == 1

@@ -1,0 +1,57 @@
+"""Unit tests for the probabilistic ECC model."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import EccModel, ReadStatus
+from repro.nand.errors import RawBitErrorModel
+
+
+def test_deterministic_model_always_clean():
+    model = EccModel(rng=None)
+    for _ in range(100):
+        assert model.read_outcome(8192, pe_cycles=5000) is ReadStatus.CLEAN
+    assert model.corrected_reads == 0
+    assert model.uncorrectable_reads == 0
+
+
+def test_fresh_flash_rarely_errors():
+    model = EccModel(rng=np.random.default_rng(1))
+    outcomes = [model.read_outcome(8192, pe_cycles=0) for _ in range(2000)]
+    assert outcomes.count(ReadStatus.UNCORRECTABLE) == 0
+    # RBER 1e-6 over 64 Kib bits -> expect ~0.065 errors/page; a few
+    # CORRECTED outcomes are plausible but most reads are clean.
+    assert outcomes.count(ReadStatus.CLEAN) > 1500
+
+
+def test_worn_flash_with_weak_code_fails_often():
+    weak = EccModel(
+        t=1,
+        rber_model=RawBitErrorModel(base_rber=1e-4, growth=1000, endurance=100),
+        rng=np.random.default_rng(2),
+    )
+    outcomes = [weak.read_outcome(8192, pe_cycles=300) for _ in range(300)]
+    assert outcomes.count(ReadStatus.UNCORRECTABLE) > 0
+    assert weak.uncorrectable_reads == outcomes.count(ReadStatus.UNCORRECTABLE)
+
+
+def test_uncorrectable_probability_monotone_in_wear():
+    model = EccModel(t=8)
+    p_fresh = model.uncorrectable_probability(8192, 0)
+    p_worn = model.uncorrectable_probability(8192, 6000)
+    assert p_fresh < p_worn
+
+
+def test_stronger_code_lower_failure_probability():
+    weak = EccModel(t=4)
+    strong = EccModel(t=40)
+    assert strong.uncorrectable_probability(
+        8192, 3000
+    ) < weak.uncorrectable_probability(8192, 3000)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EccModel(t=0)
+    with pytest.raises(ValueError):
+        EccModel(codeword_bytes=0)

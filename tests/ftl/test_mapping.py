@@ -1,0 +1,116 @@
+"""Unit tests for PageMapping and BlockMapping."""
+
+import pytest
+
+from repro.ftl import BlockMapping, PageMapping
+
+
+@pytest.fixture
+def pmap():
+    # 16 logical pages over 8 blocks x 4 pages = 32 physical pages.
+    return PageMapping(n_lpns=16, n_ppns=32, pages_per_block=4)
+
+
+def test_unmapped_lookup_returns_none(pmap):
+    assert pmap.lookup(0) is None
+    assert pmap.reverse(0) is None
+    assert not pmap.is_valid(0)
+
+
+def test_map_and_lookup_roundtrip(pmap):
+    assert pmap.map(3, 10) is None
+    assert pmap.lookup(3) == 10
+    assert pmap.reverse(10) == 3
+    assert pmap.is_valid(10)
+    assert pmap.valid_count(10 // 4) == 1
+    assert pmap.mapped_lpns == 1
+
+
+def test_remap_invalidates_old_ppn(pmap):
+    pmap.map(3, 10)
+    old = pmap.map(3, 20)
+    assert old == 10
+    assert not pmap.is_valid(10)
+    assert pmap.reverse(10) is None
+    assert pmap.valid_count(2) == 0
+    assert pmap.valid_count(5) == 1
+
+
+def test_map_to_occupied_ppn_rejected(pmap):
+    pmap.map(1, 9)
+    with pytest.raises(ValueError, match="already holds"):
+        pmap.map(2, 9)
+
+
+def test_unmap_trim(pmap):
+    pmap.map(5, 12)
+    assert pmap.unmap(5) == 12
+    assert pmap.lookup(5) is None
+    assert not pmap.is_valid(12)
+    assert pmap.unmap(5) is None  # idempotent
+
+
+def test_valid_lpns_in_block(pmap):
+    pmap.map(0, 4)  # block 1
+    pmap.map(1, 5)  # block 1
+    pmap.map(2, 9)  # block 2
+    assert pmap.valid_lpns_in_block(1) == [(4, 0), (5, 1)]
+    assert pmap.valid_lpns_in_block(0) == []
+
+
+def test_note_block_erased_requires_no_valid_pages(pmap):
+    pmap.map(0, 4)
+    with pytest.raises(ValueError, match="valid pages"):
+        pmap.note_block_erased(1)
+    pmap.unmap(0)
+    pmap.note_block_erased(1)
+    # After the reset the block can be reused.
+    pmap.map(7, 4)
+    assert pmap.reverse(4) == 7
+
+
+def test_valid_counts_view_is_readonly(pmap):
+    view = pmap.valid_counts
+    with pytest.raises(ValueError):
+        view[0] = 5
+
+
+def test_page_mapping_validation():
+    with pytest.raises(ValueError):
+        PageMapping(n_lpns=0, n_ppns=32, pages_per_block=4)
+    with pytest.raises(ValueError):
+        PageMapping(n_lpns=4, n_ppns=30, pages_per_block=4)
+
+
+def test_block_mapping_lifecycle():
+    bmap = BlockMapping(n_logical_blocks=8)
+    assert bmap.lookup(3) is None
+    bmap.map(3, (10, 11, 12, 13))
+    assert bmap.lookup(3) == (10, 11, 12, 13)
+    assert bmap.is_mapped(3)
+    assert bmap.mapped_count == 1
+    assert bmap.unmap(3) == (10, 11, 12, 13)
+    assert not bmap.is_mapped(3)
+
+
+def test_block_mapping_double_map_rejected():
+    bmap = BlockMapping(4)
+    bmap.map(0, (1,))
+    with pytest.raises(ValueError, match="erase first"):
+        bmap.map(0, (2,))
+
+
+def test_block_mapping_unmap_of_unmapped_rejected():
+    bmap = BlockMapping(4)
+    with pytest.raises(KeyError):
+        bmap.unmap(2)
+
+
+def test_block_mapping_bounds():
+    bmap = BlockMapping(4)
+    with pytest.raises(IndexError):
+        bmap.lookup(4)
+    with pytest.raises(IndexError):
+        bmap.map(-1, (0,))
+    with pytest.raises(ValueError):
+        BlockMapping(0)

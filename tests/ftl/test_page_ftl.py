@@ -1,0 +1,195 @@
+"""Unit tests for the conventional page-mapped FTL."""
+
+import pytest
+
+from repro.ftl import OpKind, OutOfSpaceError, PageFTL
+from repro.nand import FlashArray, FlashGeometry, NandTiming
+
+TINY = FlashGeometry(
+    page_size=512, pages_per_block=4, blocks_per_plane=8, planes_per_chip=2
+)
+
+
+def make_ftl(channels=2, op_ratio=0.25, **kwargs):
+    array = FlashArray(
+        channels=channels,
+        chips_per_channel=1,
+        geometry=TINY,
+        timing=NandTiming(),
+    )
+    return PageFTL(array, op_ratio=op_ratio, **kwargs)
+
+
+def test_capacity_reflects_overprovisioning():
+    full = make_ftl(op_ratio=0.0)
+    quarter = make_ftl(op_ratio=0.25)
+    assert quarter.user_pages == int(full.user_pages * 0.75)
+    assert quarter.user_bytes == quarter.user_pages * TINY.page_size
+
+
+def test_write_then_read_roundtrip():
+    ftl = make_ftl()
+    ftl.write(0, b"page-zero")
+    ftl.write(1, b"page-one")
+    assert ftl.read(0)[0] == b"page-zero"
+    assert ftl.read(1)[0] == b"page-one"
+
+
+def test_overwrite_returns_new_data():
+    ftl = make_ftl()
+    ftl.write(5, "v1")
+    ftl.write(5, "v2")
+    assert ftl.read(5)[0] == "v2"
+
+
+def test_unwritten_read_returns_none_and_no_ops():
+    ftl = make_ftl()
+    data, ops = ftl.read(7)
+    assert data is None and ops == []
+
+
+def test_write_reports_program_op_on_striped_channel():
+    ftl = make_ftl(channels=2)
+    ops0 = ftl.write(0, "a")
+    ops1 = ftl.write(1, "b")
+    assert ops0[-1].kind is OpKind.PROGRAM
+    assert ops0[-1].channel == ftl.channel_of_lpn(0)
+    assert ops1[-1].channel == ftl.channel_of_lpn(1)
+    assert ops0[-1].channel != ops1[-1].channel  # 1-page striping
+
+
+def test_stripe_pages_groups_consecutive_lpns():
+    ftl = make_ftl(channels=2, stripe_pages=4)
+    channels = {ftl.channel_of_lpn(lpn) for lpn in range(4)}
+    assert len(channels) == 1
+    assert ftl.channel_of_lpn(4) != ftl.channel_of_lpn(3)
+
+
+def test_lpn_bounds_checked():
+    ftl = make_ftl()
+    with pytest.raises(IndexError):
+        ftl.write(ftl.user_pages, "x")
+    with pytest.raises(IndexError):
+        ftl.read(-1)
+
+
+def test_gc_reclaims_overwritten_space():
+    """Overwriting the same small working set forever must not run out
+    of space -- GC reclaims invalidated pages."""
+    ftl = make_ftl(channels=1, op_ratio=0.25)
+    for round_number in range(20):
+        for lpn in range(8):
+            ftl.write(lpn, (round_number, lpn))
+    assert ftl.gc_runs > 0
+    assert ftl.erases > 0
+    for lpn in range(8):
+        assert ftl.read(lpn)[0] == (19, lpn)
+
+
+def test_write_amplification_one_for_sequential_single_pass():
+    ftl = make_ftl(channels=1, op_ratio=0.25)
+    for lpn in range(ftl.user_pages // 2):
+        ftl.write(lpn, None)
+    assert ftl.write_amplification == 1.0
+
+
+def test_write_amplification_grows_with_random_overwrites():
+    import numpy as np
+
+    rng = np.random.default_rng(5)
+    ftl = make_ftl(channels=1, op_ratio=0.25)
+    # Fill completely, then randomly overwrite 4x the capacity.
+    for lpn in range(ftl.user_pages):
+        ftl.write(lpn, None)
+    for _ in range(4 * ftl.user_pages):
+        ftl.write(int(rng.integers(ftl.user_pages)), None)
+    assert ftl.write_amplification > 1.2
+
+
+def test_lower_op_ratio_means_higher_write_amplification():
+    import numpy as np
+
+    # A slightly larger toy device so that 10% OP is still several
+    # blocks' worth of spare space.
+    geometry = FlashGeometry(
+        page_size=512, pages_per_block=8, blocks_per_plane=32,
+        planes_per_chip=2,
+    )
+
+    def steady_wa(op_ratio):
+        rng = np.random.default_rng(9)
+        array = FlashArray(1, 1, geometry, NandTiming())
+        ftl = PageFTL(array, op_ratio=op_ratio, store_data=False)
+        for lpn in range(ftl.user_pages):
+            ftl.write(lpn, None)
+        for _ in range(6 * ftl.user_pages):
+            ftl.write(int(rng.integers(ftl.user_pages)), None)
+        return ftl.write_amplification
+
+    assert steady_wa(0.1) > steady_wa(0.4)
+
+
+def test_data_survives_gc():
+    import numpy as np
+
+    rng = np.random.default_rng(13)
+    ftl = make_ftl(channels=1, op_ratio=0.25)
+    shadow = {}
+    for step in range(6 * ftl.user_pages):
+        lpn = int(rng.integers(ftl.user_pages))
+        ftl.write(lpn, ("v", step))
+        shadow[lpn] = ("v", step)
+    for lpn, expected in shadow.items():
+        assert ftl.read(lpn)[0] == expected
+
+
+def test_trim_frees_pages():
+    ftl = make_ftl(channels=1)
+    ftl.write(0, "x")
+    ftl.trim(0)
+    assert ftl.read(0)[0] is None
+
+
+def test_out_of_space_without_gc_candidates():
+    """A pathological config (0% OP, all pages valid) must fail loudly,
+    not loop forever."""
+    ftl = make_ftl(channels=1, op_ratio=0.0, gc_free_blocks=1)
+    with pytest.raises(OutOfSpaceError):
+        for lpn in range(ftl.user_pages):
+            ftl.write(lpn, None)
+        # Everything valid; overwriting forces GC with nothing to reclaim
+        # beyond a single block's slack -- eventually space runs out.
+        for _ in range(10):
+            for lpn in range(ftl.user_pages):
+                ftl.write(lpn, None)
+
+
+def test_parity_channels_reduce_capacity_and_emit_parity_ops():
+    plain = make_ftl(channels=4, op_ratio=0.0)
+    protected = make_ftl(channels=4, op_ratio=0.0, parity_group_size=4)
+    assert protected.user_pages == plain.user_pages * 3 // 4
+    for lpn in range(6):
+        protected.write(lpn, None)
+    assert protected.parity_programs == 2  # one per 3 data programs
+    assert protected.write_amplification > 1.0
+
+
+def test_parity_ops_land_on_parity_channels():
+    ftl = make_ftl(channels=4, op_ratio=0.0, parity_group_size=4)
+    ops = []
+    for lpn in range(3):
+        ops.extend(ftl.write(lpn, None))
+    parity_ops = [op for op in ops if op.internal and op.kind is OpKind.PROGRAM]
+    assert len(parity_ops) == 1
+    assert parity_ops[0].channel == 3  # last channel of the group
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        make_ftl(op_ratio=1.0)
+    with pytest.raises(ValueError):
+        make_ftl(stripe_pages=0)
+    with pytest.raises(ValueError):
+        make_ftl(parity_group_size=1)
+    with pytest.raises(ValueError):
+        make_ftl(gc_free_blocks=0)

@@ -1,0 +1,165 @@
+"""Unit tests for host links, I/O stack models and interrupt coalescing."""
+
+import pytest
+
+from repro.interfaces import (
+    HostLink,
+    InterruptCoalescer,
+    IOStackModel,
+    KERNEL_IO_STACK,
+    LinkSpec,
+    PCIE_1_1_X8,
+    SATA_2_0,
+    SDF_USER_SPACE_STACK,
+)
+from repro.interfaces.iostack import HostCPU
+from repro.sim import MB, Simulator, US
+from repro.sim.units import mb_per_s
+
+
+def run_transfers(spec, transfers):
+    """transfers: list of (direction, nbytes); returns (elapsed, link)."""
+    sim = Simulator()
+    link = HostLink(sim, spec)
+    procs = [
+        sim.process(link.transfer(direction, nbytes))
+        for direction, nbytes in transfers
+    ]
+    sim.run(until=sim.all_of(procs))
+    return sim.now, link
+
+
+def test_pcie_read_bandwidth_is_paper_effective_rate():
+    elapsed, _ = run_transfers(PCIE_1_1_X8, [("read", 64 * MB)])
+    assert mb_per_s(64 * MB, elapsed) == pytest.approx(1610, rel=0.01)
+
+
+def test_pcie_write_bandwidth():
+    elapsed, _ = run_transfers(PCIE_1_1_X8, [("write", 64 * MB)])
+    assert mb_per_s(64 * MB, elapsed) == pytest.approx(1400, rel=0.01)
+
+
+def test_full_duplex_directions_do_not_contend():
+    elapsed, _ = run_transfers(
+        PCIE_1_1_X8, [("read", 16 * MB), ("write", 16 * MB)]
+    )
+    solo, _ = run_transfers(PCIE_1_1_X8, [("read", 16 * MB)])
+    assert elapsed == pytest.approx(
+        max(solo, int(16 * MB / (1400e6 / 1e9))), rel=0.02
+    )
+
+
+def test_sata_is_half_duplex():
+    elapsed, _ = run_transfers(SATA_2_0, [("read", 8 * MB), ("write", 8 * MB)])
+    one_way, _ = run_transfers(SATA_2_0, [("read", 8 * MB)])
+    assert elapsed == pytest.approx(2 * one_way, rel=0.02)
+
+
+def test_concurrent_reads_share_fairly_via_chunking():
+    """Two equal concurrent transfers finish together at half rate each,
+    instead of strictly one-after-the-other."""
+    sim = Simulator()
+    link = HostLink(sim, PCIE_1_1_X8)
+    finish = {}
+
+    def mover(tag):
+        yield from link.transfer("read", 8 * MB)
+        finish[tag] = sim.now
+
+    sim.process(mover("a"))
+    sim.process(mover("b"))
+    sim.run()
+    assert finish["a"] == pytest.approx(finish["b"], rel=0.05)
+
+
+def test_transfer_validation():
+    sim = Simulator()
+    link = HostLink(sim, PCIE_1_1_X8)
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(link.transfer("sideways", 100)))
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(link.transfer("read", -1)))
+
+
+def test_zero_byte_transfer_costs_only_overhead():
+    elapsed, _ = run_transfers(PCIE_1_1_X8, [("read", 0)])
+    assert elapsed == PCIE_1_1_X8.per_transfer_overhead_ns
+
+
+def test_link_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 0, 100)
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 100, 100, chunk_bytes=0)
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 100, 100, per_transfer_overhead_ns=-1)
+
+
+def test_link_meters_record_traffic():
+    _, link = run_transfers(PCIE_1_1_X8, [("read", MB), ("write", 2 * MB)])
+    assert link.read_meter.total_bytes == MB
+    assert link.write_meter.total_bytes == 2 * MB
+
+
+def test_iostack_totals_match_paper():
+    assert KERNEL_IO_STACK.total_ns == pytest.approx(12_900, abs=100)
+    assert 2_000 <= SDF_USER_SPACE_STACK.total_ns <= 4_000
+    assert KERNEL_IO_STACK.total_ns > 3 * SDF_USER_SPACE_STACK.total_ns
+
+
+def test_iostack_validation():
+    with pytest.raises(ValueError):
+        IOStackModel("bad", -1, 0)
+
+
+def test_host_cpu_serializes_software_time():
+    sim = Simulator()
+    cpu = HostCPU(sim, cores=1)
+    done = []
+
+    def worker(tag):
+        yield from cpu.spend(10 * US)
+        done.append((tag, sim.now))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert done == [("a", 10 * US), ("b", 20 * US)]
+    with pytest.raises(ValueError):
+        HostCPU(sim, cores=0)
+
+
+def test_interrupt_coalescer_merges_within_window():
+    sim = Simulator()
+    coalescer = InterruptCoalescer(sim, window_ns=20 * US, handler_ns=4 * US)
+    log = []
+
+    def completions():
+        for _ in range(10):
+            log.append(coalescer.on_completion())
+            yield sim.timeout(5 * US)  # 4 completions per 20 us window
+
+    sim.run(until=sim.process(completions()))
+    # 10 completions over 50 us with 20 us windows -> ~3 interrupts.
+    assert coalescer.interrupts.value <= 4
+    assert 0.2 <= coalescer.merge_ratio <= 0.45
+
+
+def test_interrupt_coalescer_sparse_completions_not_merged():
+    sim = Simulator()
+    coalescer = InterruptCoalescer(sim, window_ns=10 * US)
+
+    def completions():
+        for _ in range(5):
+            coalescer.on_completion()
+            yield sim.timeout(100 * US)
+
+    sim.run(until=sim.process(completions()))
+    assert coalescer.merge_ratio == 1.0
+
+
+def test_interrupt_coalescer_validation_and_empty_ratio():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        InterruptCoalescer(sim, window_ns=-1)
+    assert InterruptCoalescer(sim).merge_ratio == 1.0

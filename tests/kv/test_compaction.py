@@ -1,0 +1,111 @@
+"""Unit tests for merge-sort compaction."""
+
+import pytest
+
+from repro.kv import (
+    CompactionTask,
+    Patch,
+    TOMBSTONE,
+    TieredCompactionPolicy,
+    merge_patches,
+)
+
+
+def test_merge_disjoint_patches():
+    merged = merge_patches(
+        [Patch([("c", b"3"), ("d", b"4")]), Patch([("a", b"1"), ("b", b"2")])]
+    )
+    assert [k for k, _ in merged.items()] == ["a", "b", "c", "d"]
+
+
+def test_merge_newest_wins_on_duplicates():
+    newer = Patch([("k", b"new"), ("x", b"1")])
+    older = Patch([("k", b"old"), ("y", b"2")])
+    merged = merge_patches([newer, older])
+    assert merged.get("k") == (True, b"new")
+    assert len(merged) == 3
+
+
+def test_merge_three_way_precedence():
+    p0 = Patch([("k", b"v0")])  # newest
+    p1 = Patch([("k", b"v1")])
+    p2 = Patch([("k", b"v2"), ("z", b"zz")])  # oldest
+    merged = merge_patches([p0, p1, p2])
+    assert merged.get("k") == (True, b"v0")
+    assert merged.get("z") == (True, b"zz")
+
+
+def test_merge_keeps_tombstones_by_default():
+    merged = merge_patches(
+        [Patch([("k", TOMBSTONE)]), Patch([("k", b"old")])]
+    )
+    assert merged.get("k") == (True, TOMBSTONE)
+
+
+def test_merge_drops_tombstones_when_asked():
+    merged = merge_patches(
+        [Patch([("a", b"1"), ("k", TOMBSTONE)]), Patch([("k", b"old")])],
+        drop_tombstones=True,
+    )
+    assert merged.get("k") == (False, None)
+    assert merged.get("a") == (True, b"1")
+
+
+def test_merge_empty_input_rejected():
+    with pytest.raises(ValueError):
+        merge_patches([])
+
+
+def test_merge_of_empty_patches():
+    merged = merge_patches([Patch([]), Patch([("a", b"1")])])
+    assert len(merged) == 1
+
+
+def test_policy_plans_when_fanout_reached():
+    policy = TieredCompactionPolicy(fanout=3, max_levels=3)
+    assert policy.plan([[1, 2], [], []]) is None
+    task = policy.plan([[3, 2, 1], [], []])
+    assert task == CompactionTask(level=0, run_ids=(3, 2, 1))
+    assert policy.output_level(task) == 1
+
+
+def test_policy_final_level_threshold_is_doubled():
+    policy = TieredCompactionPolicy(fanout=2, max_levels=2)
+    # Final level (1) needs fanout*2 = 4 runs before re-merging.
+    assert policy.plan([[], [1, 2, 3]]) is None
+    task = policy.plan([[], [4, 3, 2, 1]])
+    assert task.level == 1
+    assert policy.output_level(task) == 1  # stays on the final level
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        TieredCompactionPolicy(fanout=1)
+    with pytest.raises(ValueError):
+        TieredCompactionPolicy(max_levels=0)
+
+
+def test_policy_skips_unshrinkable_final_level_merge():
+    """A final level full of already-full patches must not be re-merged
+    forever: the output would be exactly as many write units as the
+    input (the infinite-churn guard)."""
+    policy = TieredCompactionPolicy(
+        fanout=2, max_levels=2, max_patch_bytes=100
+    )
+    full_runs = [1, 2, 3, 4]
+    run_bytes = {run_id: 100 for run_id in full_runs}  # all full
+    assert policy.plan([[], full_runs], run_bytes) is None
+    # If the runs are half-empty, merging shrinks them: plan it.
+    half = {run_id: 50 for run_id in full_runs}
+    task = policy.plan([[], full_runs], half)
+    assert task is not None and task.level == 1
+
+
+def test_policy_without_sizes_behaves_as_before():
+    policy = TieredCompactionPolicy(fanout=2, max_levels=2)
+    assert policy.plan([[], [4, 3, 2, 1]]) is not None
+
+
+def test_policy_validation_max_patch_bytes():
+    with pytest.raises(ValueError):
+        TieredCompactionPolicy(max_patch_bytes=0)

@@ -1,0 +1,161 @@
+"""Unit tests for MemTable, WriteAheadLog and Patch."""
+
+import pytest
+
+from repro.kv import (
+    MemTable,
+    Patch,
+    PlaceholderValue,
+    TOMBSTONE,
+    WriteAheadLog,
+    sizeof_key,
+    sizeof_value,
+)
+
+
+def test_sizeof_helpers():
+    assert sizeof_key(b"abc") == 3
+    assert sizeof_key("abcd") == 4
+    assert sizeof_key(7) == 8
+    assert sizeof_value(b"xy") == 2
+    assert sizeof_value(PlaceholderValue(512)) == 512
+    assert sizeof_value(TOMBSTONE) == 0
+    with pytest.raises(TypeError):
+        sizeof_key(3.14)
+    with pytest.raises(TypeError):
+        sizeof_value(3.14)
+    with pytest.raises(ValueError):
+        PlaceholderValue(-1)
+
+
+def test_tombstone_is_singleton():
+    from repro.kv.common import _Tombstone
+
+    assert _Tombstone() is TOMBSTONE
+
+
+def test_memtable_put_get():
+    table = MemTable(capacity_bytes=1024)
+    table.put("k1", b"v1")
+    assert table.get("k1") == (True, b"v1")
+    assert table.get("nope") == (False, None)
+    assert len(table) == 1
+    assert table.nbytes == 2 + 2
+
+
+def test_memtable_overwrite_updates_size():
+    table = MemTable(1024)
+    table.put("k", b"12345678")
+    table.put("k", b"12")
+    assert table.nbytes == 1 + 2
+    assert table.get("k") == (True, b"12")
+
+
+def test_memtable_capacity_and_fits():
+    table = MemTable(capacity_bytes=10)
+    assert table.fits("abc", b"1234")  # 7 bytes
+    table.put("abc", b"1234")
+    assert not table.fits("xyz", b"1234")  # would be 14
+    assert table.fits("abc", b"1234567")  # replacing: 10 exactly
+    with pytest.raises(ValueError, match="exceeds"):
+        table.put("a", b"x" * 100)
+
+
+def test_memtable_delete_inserts_tombstone():
+    table = MemTable(1024)
+    table.put("k", b"v")
+    table.delete("k")
+    assert table.get("k") == (True, TOMBSTONE)
+
+
+def test_memtable_items_sorted_and_clear():
+    table = MemTable(1024)
+    for key in ["delta", "alpha", "charlie"]:
+        table.put(key, b"x")
+    assert [key for key, _ in table.items_sorted()] == [
+        "alpha",
+        "charlie",
+        "delta",
+    ]
+    table.clear()
+    assert table.is_empty and table.nbytes == 0
+
+
+def test_memtable_validation():
+    with pytest.raises(ValueError):
+        MemTable(0)
+
+
+def test_wal_append_truncate_replay():
+    wal = WriteAheadLog()
+    wal.append_put("a", b"1")
+    wal.append_delete("b")
+    assert len(wal) == 2
+    assert wal.appended_bytes == 2 + 1
+    rebuilt = MemTable(1024)
+    assert wal.replay(rebuilt) == 2
+    assert rebuilt.get("a") == (True, b"1")
+    assert rebuilt.get("b") == (True, TOMBSTONE)
+    wal.truncate()
+    assert len(wal) == 0
+    assert wal.truncations == 1
+
+
+def test_patch_requires_sorted_unique_keys():
+    with pytest.raises(ValueError):
+        Patch([("b", b"1"), ("a", b"2")])
+    with pytest.raises(ValueError):
+        Patch([("a", b"1"), ("a", b"2")])
+
+
+def test_patch_get_and_contains():
+    patch = Patch([("a", b"1"), ("c", b"3"), ("e", TOMBSTONE)])
+    assert patch.get("a") == (True, b"1")
+    assert patch.get("b") == (False, None)
+    assert patch.get("e") == (True, TOMBSTONE)
+    assert "c" in patch and "d" not in patch
+    assert patch.min_key == "a" and patch.max_key == "e"
+    assert len(patch) == 3
+
+
+def test_patch_from_memtable():
+    table = MemTable(1024)
+    table.put("z", b"26")
+    table.put("a", b"1")
+    patch = Patch.from_memtable(table)
+    assert list(patch.keys()) == ["a", "z"]
+    assert patch.nbytes == table.nbytes
+
+
+def test_patch_offset_of_matches_layout():
+    patch = Patch([("aa", b"111"), ("bb", b"22222")])
+    # Layout: key aa (2) + value (3) + key bb (2) + value (5).
+    assert patch.offset_of("aa") == 2
+    assert patch.offset_of("bb") == 2 + 3 + 2
+    assert patch.offset_of("cc") is None
+
+
+def test_patch_range_items():
+    patch = Patch([(k, b"x") for k in "acegi"])
+    assert [k for k, _ in patch.range_items("c", "h")] == ["c", "e", "g"]
+    assert patch.range_items("j", "z") == []
+
+
+def test_patch_serialization_roundtrip():
+    patch = Patch(
+        [
+            ("a", b"bytes"),
+            ("b", PlaceholderValue(4096)),
+            ("c", TOMBSTONE),
+        ]
+    )
+    clone = Patch.deserialize(patch.serialize())
+    assert list(clone.items()) == list(patch.items())
+    assert clone.nbytes == patch.nbytes
+
+
+def test_empty_patch():
+    patch = Patch([])
+    assert patch.is_empty
+    assert patch.min_key is None
+    assert patch.get("x") == (False, None)

@@ -1,0 +1,84 @@
+"""Unit and property tests for FlashArray addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand import FlashArray, FlashGeometry, NandTiming, PhysicalAddress
+
+GEO = FlashGeometry(
+    page_size=512, pages_per_block=4, blocks_per_plane=8, planes_per_chip=2
+)
+
+
+def make_array(channels=3, chips=2):
+    return FlashArray(channels, chips, GEO, NandTiming())
+
+
+def test_shape_accounting():
+    array = make_array()
+    assert array.planes_per_channel == 4
+    assert array.n_planes == 12
+    assert array.blocks_per_channel == 32
+    assert array.n_blocks == 96
+    assert array.n_pages == 96 * 4
+    assert array.raw_bytes == 96 * 4 * 512
+
+
+def test_ppn_roundtrip_exhaustive_small():
+    array = make_array(channels=2, chips=1)
+    seen = set()
+    for channel in range(2):
+        for chip in range(1):
+            for plane in range(GEO.planes_per_chip):
+                for block in range(GEO.blocks_per_plane):
+                    for page in range(GEO.pages_per_block):
+                        addr = PhysicalAddress(channel, chip, plane, block, page)
+                        ppn = array.ppn(addr)
+                        assert array.unpack_ppn(ppn) == addr
+                        seen.add(ppn)
+    assert seen == set(range(array.n_pages))  # bijective, dense
+
+
+@given(
+    channel=st.integers(0, 2),
+    chip=st.integers(0, 1),
+    plane=st.integers(0, 1),
+    block=st.integers(0, 7),
+    page=st.integers(0, 3),
+)
+@settings(max_examples=100, deadline=None)
+def test_ppn_roundtrip_property(channel, chip, plane, block, page):
+    array = make_array()
+    addr = PhysicalAddress(channel, chip, plane, block, page)
+    assert array.unpack_ppn(array.ppn(addr)) == addr
+    flat = array.flat_block(addr)
+    assert array.unpack_block(flat) == addr.with_page(0)
+
+
+def test_operations_route_to_right_chip():
+    array = make_array()
+    addr = PhysicalAddress(2, 1, 0, 3, 0)
+    array.program_page(addr, "payload")
+    assert array.read_page(addr) == "payload"
+    assert array.chip_at(2, 1).programs == 1
+    assert array.chip_at(0, 0).programs == 0
+    array.erase_block(addr)
+    assert array.erase_count(addr) == 1
+    assert array.total_reads == 1
+    assert array.total_programs == 1
+    assert array.total_erases == 1
+
+
+def test_with_page_helper():
+    addr = PhysicalAddress(1, 0, 1, 5)
+    assert addr.page == 0
+    moved = addr.with_page(3)
+    assert moved.page == 3 and moved.block == 5 and moved.channel == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FlashArray(0, 1, GEO, NandTiming())
+    with pytest.raises(ValueError):
+        FlashArray(1, 0, GEO, NandTiming())

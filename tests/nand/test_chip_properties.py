@@ -1,0 +1,76 @@
+"""Property-based tests of the NAND block state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand import Block, BlockState, ProgramError
+
+PAGES = 8
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random sequences of program/erase/read operations."""
+    n_ops = draw(st.integers(min_value=0, max_value=60))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["program", "erase", "read"]))
+        page = draw(st.integers(min_value=0, max_value=PAGES - 1))
+        ops.append((kind, page))
+    return ops
+
+
+@given(operation_sequences())
+@settings(max_examples=200, deadline=None)
+def test_block_invariants_hold_under_any_op_sequence(ops):
+    """Whatever sequence of operations runs, the block's invariants hold:
+
+    * reads below the write pointer return the last value programmed
+      since the most recent erase; reads at/above it return None;
+    * programs succeed iff they target exactly the write pointer;
+    * the write pointer never exceeds the page count and never moves
+      backwards except via erase.
+    """
+    block = Block(index=0, pages_per_block=PAGES)
+    shadow = {}  # page -> payload, since last erase
+    erase_epoch = 0
+
+    for kind, page in ops:
+        if kind == "program":
+            expected_ok = page == block.write_pointer and page < PAGES
+            try:
+                block.program(page, (erase_epoch, page))
+                assert expected_ok
+                shadow[page] = (erase_epoch, page)
+            except ProgramError:
+                assert not expected_ok
+        elif kind == "erase":
+            block.erase()
+            shadow.clear()
+            erase_epoch += 1
+        else:
+            value = block.read(page)
+            assert value == shadow.get(page)
+
+        assert 0 <= block.write_pointer <= PAGES
+        assert block.write_pointer == len(shadow) or set(shadow) == set(
+            range(block.write_pointer)
+        )
+        expected_state = (
+            BlockState.FREE
+            if block.write_pointer == 0
+            else BlockState.FULL
+            if block.write_pointer == PAGES
+            else BlockState.OPEN
+        )
+        assert block.state is expected_state
+
+
+@given(st.integers(min_value=1, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_erase_count_equals_number_of_erases(n_erases):
+    block = Block(index=0, pages_per_block=4)
+    for _ in range(n_erases):
+        block.program(0, "x")
+        block.erase()
+    assert block.erase_count == n_erases

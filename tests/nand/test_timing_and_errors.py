@@ -1,0 +1,137 @@
+"""Unit tests for NAND timing math and the bit-error model."""
+
+import math
+
+import pytest
+
+from repro.nand import (
+    MICRON_25NM_MLC,
+    NandTiming,
+    RawBitErrorModel,
+    SDF_CHIP_GEOMETRY,
+    page_failure_probability,
+)
+from repro.nand.errors import codeword_failure_probability
+
+
+def test_timing_validation():
+    with pytest.raises(ValueError):
+        NandTiming(t_read_ns=0)
+    with pytest.raises(ValueError):
+        NandTiming(bus_mb_per_s=0)
+    with pytest.raises(ValueError):
+        NandTiming(bus_overhead_ns=-1)
+
+
+def test_bus_transfer_includes_overhead():
+    timing = NandTiming(bus_mb_per_s=40.0, bus_overhead_ns=5_000)
+    assert timing.bus_transfer_ns(0) == 5_000
+    # 8 KiB at 40 MB/s = 204.8 us + 5 us overhead.
+    assert timing.bus_transfer_ns(8192) == pytest.approx(209_800, abs=5)
+
+
+def test_plane_bandwidths_match_datasheet_math():
+    timing = MICRON_25NM_MLC
+    page = SDF_CHIP_GEOMETRY.page_size
+    # 8 KiB / 75 us ~ 109 MB/s cell-read bandwidth.
+    assert timing.plane_read_mb_per_s(page) == pytest.approx(109.2, rel=0.01)
+    # 8 KiB / 1.4 ms ~ 5.85 MB/s program bandwidth.
+    assert timing.plane_program_mb_per_s(page) == pytest.approx(5.85, rel=0.01)
+
+
+def test_sdf_raw_write_bandwidth_reproduces_paper():
+    """Paper S3.2: SDF aggregate raw write bandwidth ~ 1.01 GB/s.
+
+    44 channels x 4 planes x plane program bandwidth.
+    """
+    per_plane = MICRON_25NM_MLC.plane_program_mb_per_s(
+        SDF_CHIP_GEOMETRY.page_size
+    )
+    aggregate = 44 * 4 * per_plane
+    assert aggregate == pytest.approx(1010, rel=0.05)
+
+
+def test_sdf_raw_read_bandwidth_reproduces_paper():
+    """Paper S3.2: SDF aggregate raw read bandwidth ~ 1.67 GB/s.
+
+    Reads are channel-bus-limited: 44 channels x effective bus rate.
+    """
+    page = SDF_CHIP_GEOMETRY.page_size
+    per_channel = page / (MICRON_25NM_MLC.bus_transfer_ns(page) / 1e9) / 1e6
+    aggregate = 44 * per_channel
+    assert aggregate == pytest.approx(1670, rel=0.05)
+
+
+def test_timing_scaled_override():
+    fast = MICRON_25NM_MLC.scaled(t_prog_ns=700_000)
+    assert fast.t_prog_ns == 700_000
+    assert fast.t_read_ns == MICRON_25NM_MLC.t_read_ns
+
+
+def test_rber_grows_with_wear():
+    model = RawBitErrorModel()
+    fresh = model.rber(0)
+    mid = model.rber(model.endurance // 2)
+    worn = model.rber(model.endurance)
+    assert fresh < mid < worn
+    assert worn == pytest.approx(fresh * model.growth, rel=1e-9)
+
+
+def test_rber_saturates_at_half():
+    model = RawBitErrorModel(base_rber=0.01, growth=1e9, endurance=10)
+    assert model.rber(1000) == 0.5
+
+
+def test_rber_validation():
+    with pytest.raises(ValueError):
+        RawBitErrorModel(base_rber=0)
+    with pytest.raises(ValueError):
+        RawBitErrorModel(growth=0.5)
+    with pytest.raises(ValueError):
+        RawBitErrorModel(endurance=0)
+    with pytest.raises(ValueError):
+        RawBitErrorModel().rber(-1)
+
+
+def test_codeword_failure_edge_cases():
+    assert codeword_failure_probability(4096, 0.0, 40) == 0.0
+    assert codeword_failure_probability(4096, 1.0, 40) == 1.0
+    # t >= n means nothing can fail.
+    assert codeword_failure_probability(8, 0.9, 8) == 0.0
+    with pytest.raises(ValueError):
+        codeword_failure_probability(0, 0.1, 1)
+    with pytest.raises(ValueError):
+        codeword_failure_probability(10, 0.1, -1)
+
+
+def test_codeword_failure_matches_direct_binomial():
+    # Small case checked against an explicit binomial computation.
+    n, p, t = 20, 0.1, 2
+    direct = sum(
+        math.comb(n, k) * p**k * (1 - p) ** (n - k) for k in range(t + 1, n + 1)
+    )
+    assert codeword_failure_probability(n, p, t) == pytest.approx(direct)
+
+
+def test_page_failure_increases_with_rber_and_decreases_with_t():
+    weak = page_failure_probability(8192, 1e-4, t=8)
+    strong = page_failure_probability(8192, 1e-4, t=40)
+    worse_media = page_failure_probability(8192, 1e-3, t=8)
+    assert strong < weak < worse_media
+
+
+def test_page_failure_negligible_for_fresh_flash_with_strong_bch():
+    """Sanity-check the paper's reliability experience: with t=40 BCH per
+    512 B sector and fresh-flash RBER, uncorrectable pages are (much)
+    rarer than 1e-15 -- consistent with one event in 6 months x 2000+
+    devices."""
+    model = RawBitErrorModel()
+    p = page_failure_probability(8192, model.rber(0), t=40)
+    assert p < 1e-15
+
+
+def test_page_failure_validation():
+    with pytest.raises(ValueError):
+        page_failure_probability(0, 1e-4, 8)
+    with pytest.raises(ValueError):
+        page_failure_probability(8192, 1e-4, 8, codeword_bytes=0)

@@ -1,0 +1,109 @@
+"""Unit tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import (
+    Counter,
+    LatencyRecorder,
+    MS,
+    S,
+    ThroughputMeter,
+    TimeWeighted,
+    US,
+)
+from repro.sim.stats import percentile
+from repro.sim.units import mb_per_s, transfer_ns
+
+
+def test_counter_basic():
+    counter = Counter("ops")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_throughput_meter_simple_rate():
+    meter = ThroughputMeter()
+    # 100 MB moved over exactly one second.
+    for i in range(1, 11):
+        meter.record(i * S // 10, 10_000_000)
+    assert meter.mb_per_s(0, S) == pytest.approx(100.0)
+    assert meter.gb_per_s(0, S) == pytest.approx(0.1)
+    assert meter.total_bytes == 100_000_000
+    assert meter.n_samples == 10
+
+
+def test_throughput_meter_window_excludes_warmup():
+    meter = ThroughputMeter()
+    meter.record(10 * MS, 1_000_000)  # warmup burst
+    meter.record(1 * S + 500 * MS, 50_000_000)
+    # Window covering only the second sample.
+    assert meter.mb_per_s(1 * S, 2 * S) == pytest.approx(50.0)
+
+
+def test_throughput_meter_empty_and_degenerate():
+    meter = ThroughputMeter()
+    assert meter.mb_per_s() == 0.0
+    meter.record(5, 100)
+    assert meter.mb_per_s() == 0.0  # single instant, zero-width window
+    with pytest.raises(ValueError):
+        meter.record(6, -1)
+
+
+def test_latency_recorder_statistics():
+    rec = LatencyRecorder()
+    for value in [10, 20, 30, 40]:
+        rec.record(value)
+    assert rec.mean == pytest.approx(25.0)
+    assert rec.minimum == 10
+    assert rec.maximum == 40
+    assert rec.quantile(0.5) == pytest.approx(25.0)
+    assert len(rec) == 4
+    assert rec.stdev == pytest.approx(12.909944, rel=1e-6)
+    assert rec.coefficient_of_variation == pytest.approx(0.51639, rel=1e-4)
+
+
+def test_latency_recorder_empty_and_validation():
+    rec = LatencyRecorder()
+    assert rec.mean == 0.0 and rec.stdev == 0.0
+    assert rec.coefficient_of_variation == 0.0
+    with pytest.raises(ValueError):
+        rec.record(-5)
+
+
+def test_percentile_interpolation():
+    values = [1, 2, 3, 4]
+    assert percentile(values, 0.0) == 1
+    assert percentile(values, 1.0) == 4
+    assert percentile(values, 0.5) == pytest.approx(2.5)
+    assert percentile([7], 0.9) == 7
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_time_weighted_average():
+    queue_depth = TimeWeighted(initial=0, start_ns=0)
+    queue_depth.update(10, 4)  # depth 0 for 10ns
+    queue_depth.update(30, 2)  # depth 4 for 20ns
+    # depth 2 for 10ns -> (0*10 + 4*20 + 2*10) / 40 = 2.5
+    assert queue_depth.average(40) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        queue_depth.update(5, 1)
+
+
+def test_transfer_ns_and_mb_per_s_roundtrip():
+    nbytes = 8 * 1024 * 1024
+    elapsed = transfer_ns(nbytes, 100.0)  # 8 MiB at 100 MB/s
+    assert mb_per_s(nbytes, elapsed) == pytest.approx(100.0, rel=1e-6)
+    assert transfer_ns(0, 100.0) == 0
+    assert transfer_ns(1, 1e9) >= 1  # never rounds to zero
+
+
+def test_time_units_are_consistent():
+    assert US == 1_000 and MS == 1_000_000 and S == 1_000_000_000

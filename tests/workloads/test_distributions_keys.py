@@ -1,0 +1,94 @@
+"""Unit tests for size distributions and key generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    FIG12_REQUEST_SIZES,
+    FIG14_WRITE_SIZES,
+    SizeDistribution,
+    sequential_keys,
+    uniform_keys,
+    zipfian_keys,
+)
+
+
+def test_fig12_sizes_match_paper():
+    assert FIG12_REQUEST_SIZES["web-page"] == 32 * 1024
+    assert FIG12_REQUEST_SIZES["thumbnail"] == 128 * 1024
+    assert FIG12_REQUEST_SIZES["image"] == 512 * 1024
+
+
+def test_fixed_distribution():
+    dist = SizeDistribution(fixed=4096)
+    rng = np.random.default_rng(0)
+    assert all(dist.sample(rng) == 4096 for _ in range(10))
+
+
+def test_choice_distribution_respects_weights():
+    dist = SizeDistribution(choices=[100, 200], weights=[9, 1])
+    rng = np.random.default_rng(1)
+    samples = [dist.sample(rng) for _ in range(500)]
+    assert samples.count(100) > samples.count(200) * 3
+
+
+def test_log_uniform_distribution_bounds():
+    rng = np.random.default_rng(2)
+    samples = [FIG14_WRITE_SIZES.sample(rng) for _ in range(500)]
+    assert all(100 * 1024 * 0.99 <= s <= 1024 * 1024 * 1.01 for s in samples)
+    # Log-uniform: the geometric middle is well represented.
+    assert min(samples) < 200 * 1024 and max(samples) > 700 * 1024
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        SizeDistribution()
+    with pytest.raises(ValueError):
+        SizeDistribution(fixed=100, lo=1, hi=2)
+    with pytest.raises(ValueError):
+        SizeDistribution(fixed=0)
+    with pytest.raises(ValueError):
+        SizeDistribution(choices=[])
+    with pytest.raises(ValueError):
+        SizeDistribution(choices=[1, 2], weights=[1])
+    with pytest.raises(ValueError):
+        SizeDistribution(lo=10, hi=5)
+
+
+def test_mean_estimate_is_sane():
+    dist = SizeDistribution(fixed=1000)
+    assert dist.mean_estimate(np.random.default_rng(0), n=10) == 1000
+
+
+def test_sequential_keys():
+    assert list(sequential_keys(3, 7)) == [3, 4, 5, 6]
+    with pytest.raises(ValueError):
+        sequential_keys(5, 5)
+
+
+def test_uniform_keys_stay_in_range():
+    rng = np.random.default_rng(3)
+    keys = list(itertools.islice(uniform_keys(10, 20, rng), 200))
+    assert all(10 <= key < 20 for key in keys)
+    assert len(set(keys)) > 5
+
+
+def test_zipfian_keys_are_skewed():
+    rng = np.random.default_rng(4)
+    keys = list(itertools.islice(zipfian_keys(0, 1000, rng), 3000))
+    assert all(0 <= key < 1000 for key in keys)
+    counts = sorted(
+        (keys.count(key) for key in set(keys)), reverse=True
+    )
+    # The hottest key dwarfs the median key.
+    assert counts[0] > 10 * max(1, counts[len(counts) // 2])
+
+
+def test_zipfian_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        next(zipfian_keys(5, 5, rng))
+    with pytest.raises(ValueError):
+        next(zipfian_keys(0, 10, rng, theta=3.0))

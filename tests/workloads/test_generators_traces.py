@@ -1,0 +1,104 @@
+"""Tests for the device drivers and trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.devices import HUAWEI_GEN3_SPEC, build_conventional, build_sdf
+from repro.sim import MS, Simulator
+from repro.workloads import (
+    Trace,
+    TraceEvent,
+    drive_conventional_reads,
+    drive_sdf_reads,
+    drive_sdf_writes,
+    replay_on_sdf,
+)
+
+
+def test_sdf_read_driver_reports_per_channel_bandwidth():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=2)
+    sdf.prefill(1.0)
+    mb_s = drive_sdf_reads(
+        sim, sdf, request_bytes=8192, duration_ns=100 * MS,
+        rng=np.random.default_rng(0),
+    )
+    # Two channels of ~28 MB/s each (the Table 4 arithmetic).
+    assert mb_s == pytest.approx(2 * 28.0, rel=0.15)
+
+
+def test_sdf_read_driver_requires_prefill():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    with pytest.raises(RuntimeError, match="prefill"):
+        drive_sdf_reads(sim, sdf, 8192, duration_ns=10 * MS)
+
+
+def test_sdf_write_driver_cycles_blocks():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    mb_s = drive_sdf_writes(sim, sdf, duration_ns=800 * MS)
+    assert mb_s == pytest.approx(22.0, rel=0.15)  # erase+write ~ 22 MB/s
+
+
+def test_conventional_read_driver():
+    sim = Simulator()
+    device = build_conventional(sim, HUAWEI_GEN3_SPEC, capacity_scale=0.004)
+    device.prefill(0.5)
+    mb_s = drive_conventional_reads(
+        sim, device, request_bytes=64 * 1024, duration_ns=50 * MS,
+        queue_depth=16,
+    )
+    assert 800 < mb_s < 1400  # near the 1.15-1.2 GB/s envelope
+
+
+def test_trace_validation_and_ordering():
+    trace = Trace()
+    trace.append(TraceEvent(0, "read", 0, 0))
+    trace.append(TraceEvent(10, "write", 0, 1))
+    with pytest.raises(ValueError):
+        trace.append(TraceEvent(5, "read", 0, 0))
+    with pytest.raises(ValueError):
+        TraceEvent(0, "explode", 0, 0)
+    with pytest.raises(ValueError):
+        TraceEvent(-1, "read", 0, 0)
+    assert len(trace) == 2
+    assert trace.duration_ns() == 10
+
+
+def test_trace_scaling():
+    trace = Trace([TraceEvent(1000, "read", 0, 0)])
+    assert trace.scaled(0.5).events[0].at_ns == 500
+    with pytest.raises(ValueError):
+        trace.scaled(0)
+
+
+def test_replay_open_loop_issues_at_timestamps():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=2)
+    sdf.prefill(1.0)
+    trace = Trace(
+        [
+            TraceEvent(0, "read", 0, 0, 0, 1),
+            TraceEvent(5 * MS, "read", 1, 0, 0, 1),
+            TraceEvent(6 * MS, "erase", 0, 0),
+        ]
+    )
+    latencies = replay_on_sdf(sim, sdf, trace, open_loop=True)
+    assert len(latencies) == 3
+    assert sim.now >= 6 * MS
+
+
+def test_replay_closed_loop_serializes_per_channel():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf.prefill(1.0)
+    trace = Trace(
+        [
+            TraceEvent(0, "read", 0, 0, 0, 1),
+            TraceEvent(0, "read", 0, 1, 0, 1),
+            TraceEvent(0, "write", 0, 2),
+        ]
+    )
+    latencies = replay_on_sdf(sim, sdf, trace, open_loop=False)
+    assert len(latencies) == 3
