@@ -46,16 +46,19 @@ def gen3_write_latencies(request_mb: int, n_requests: int):
     return device.stats.write_latency
 
 
-def sdf_write_latencies(n_requests: int):
+def sdf_write_latencies(n_requests: int, obs=None):
     """Erase+write cycles on a full SDF, spread over its channels.
 
     The paper's Figure 8 latency *includes* the explicit erase performed
     immediately before each write, so we time the whole cycle.
     """
+    from repro.obs import attach_device
     from repro.sim.stats import LatencyRecorder
 
     sim = Simulator()
     sdf = build_sdf(sim, capacity_scale=0.004, n_channels=8)
+    if obs is not None:
+        attach_device(obs, sdf)
     sdf.prefill(1.0)
     recorder = LatencyRecorder("sdf.erase+write")
 
@@ -71,14 +74,28 @@ def sdf_write_latencies(n_requests: int):
 
 
 def test_fig8_latency_predictability(benchmark, paper):
+    from repro.obs import Observability
+
+    # Metrics-only attach: snapshot callbacks never schedule simulated
+    # events, so the measured latencies match an unattached run.
+    obs = Observability()
+
     def run():
         return (
             gen3_write_latencies(8, 48),
             gen3_write_latencies(88, 6),  # scaled stand-in for 352 MB
-            sdf_write_latencies(48),
+            sdf_write_latencies(48, obs=obs),
         )
 
     gen3_8mb, gen3_large, sdf = run_once(benchmark, run)
+    # The debugging view behind the figure: erase work and wait/busy
+    # accounting per channel are visible in the metrics snapshot.
+    snapshot = obs.metrics.snapshot()
+    for channel in range(8):
+        assert snapshot[f"ftl.ch{channel}.erases"] > 0
+        assert 0.0 <= snapshot[f"channel{channel}.utilization"] <= 1.0
+        assert snapshot[f"wear.ch{channel}.max_erase_count"] >= 1
+        assert snapshot[f"wear.ch{channel}.spread"] >= 0
     rows = [
         [
             name,

@@ -42,6 +42,24 @@ def format_table(
     return "\n".join(parts)
 
 
+def format_metrics(snapshot: dict, title: str = "metrics") -> str:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` as a table.
+
+    Histogram summaries (dict values) are expanded into one
+    ``name.field`` row per field, so the whole snapshot stays a flat,
+    diff-friendly two-column table.
+    """
+    rows: List[Sequence[object]] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):
+            for field in sorted(value):
+                rows.append([f"{name}.{field}", value[field]])
+        else:
+            rows.append([name, value])
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def _fmt(value) -> str:
     if isinstance(value, float):
         if value == 0:

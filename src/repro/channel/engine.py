@@ -43,18 +43,85 @@ class ChannelEngine:
         self.geometry = geometry
         self.timing = timing
         self.priorities = dict(OP_PRIORITIES if priorities is None else priorities)
-        self.bus = PriorityResource(sim, capacity=1)
+        self.bus = PriorityResource(sim, capacity=1, name=f"ch{channel}/bus")
         self._planes: Dict[Tuple[int, int], PriorityResource] = {
-            (chip, plane): PriorityResource(sim, capacity=1)
+            (chip, plane): PriorityResource(
+                sim, capacity=1, name=f"ch{channel}/chip{chip}.plane{plane}"
+            )
             for chip in range(chips_per_channel)
             for plane in range(geometry.planes_per_chip)
         }
         self.ops_executed = Counter(f"channel{channel}.ops")
+        #: Time the channel had at least one op *in service* (holding a
+        #: plane or the bus) -- queue wait excluded, concurrent service
+        #: on several planes counted once, so busy_ns / elapsed <= 1.
         self.busy_ns = Counter(f"channel{channel}.busy")
+        #: Total queue wait summed over ops; can exceed wall-clock time
+        #: when many ops wait concurrently.
+        self.wait_ns = Counter(f"channel{channel}.wait")
+        #: Optional :class:`repro.obs.Observability`; set by
+        #: ``repro.obs.attach_device``.  None keeps all hooks no-ops.
+        self.obs = None
+        self._in_service = 0
+        self._busy_since = 0
+        self._queued = 0
 
     def plane_resource(self, chip: int, plane: int) -> PriorityResource:
         """The contention resource for one (chip, plane)."""
         return self._planes[(chip, plane)]
+
+    # -- accounting --------------------------------------------------------------
+    def utilization(self, now_ns: Optional[int] = None) -> float:
+        """Fraction of elapsed time with at least one op in service.
+
+        Always in [0, 1]: queue wait is excluded and overlapping service
+        intervals are merged before integrating.
+        """
+        now = self.sim.now if now_ns is None else now_ns
+        if now <= 0:
+            return 0.0
+        busy = self.busy_ns.value
+        if self._in_service:
+            busy += now - self._busy_since
+        return busy / now
+
+    def _service_begin(self, now: int) -> None:
+        if self._in_service == 0:
+            self._busy_since = now
+        self._in_service += 1
+
+    def _service_end(self, now: int) -> None:
+        self._in_service -= 1
+        if self._in_service == 0:
+            self.busy_ns.add(now - self._busy_since)
+
+    def _phase(self, resource: PriorityResource, priority: int, duration_ns: int):
+        """Generator: acquire a resource, hold it for the service time.
+
+        Returns the queue wait (grant time minus request time), which is
+        accounted separately from service so utilisation stays honest.
+        """
+        queued = self.sim.now
+        obs = self.obs
+        depth = None
+        if obs is not None:
+            depth = obs.metrics.time_weighted(
+                f"channel{self.channel}.queue_depth"
+            )
+            self._queued += 1
+            depth.update(queued, self._queued)
+        with resource.request(priority) as hold:
+            yield hold
+            granted = self.sim.now
+            if depth is not None:
+                self._queued -= 1
+                depth.update(granted, self._queued)
+            self._service_begin(granted)
+            try:
+                yield self.sim.timeout(duration_ns)
+            finally:
+                self._service_end(self.sim.now)
+        return granted - queued
 
     # -- single-op execution -------------------------------------------------------
     def execute(self, op: FlashOp):
@@ -71,29 +138,36 @@ class ChannelEngine:
 
         if op.kind is OpKind.READ:
             # Sense into the plane register, then stream over the bus.
-            with plane.request(priority) as hold:
-                yield hold
-                yield self.sim.timeout(timing.t_read_ns)
-            with self.bus.request(priority) as hold:
-                yield hold
-                yield self.sim.timeout(timing.bus_transfer_ns(op.nbytes))
+            wait = yield from self._phase(plane, priority, timing.t_read_ns)
+            wait += yield from self._phase(
+                self.bus, priority, timing.bus_transfer_ns(op.nbytes)
+            )
         elif op.kind is OpKind.PROGRAM:
             # Stream into the chip register, then program the cells.
-            with self.bus.request(priority) as hold:
-                yield hold
-                yield self.sim.timeout(timing.bus_transfer_ns(op.nbytes))
-            with plane.request(priority) as hold:
-                yield hold
-                yield self.sim.timeout(timing.t_prog_ns)
+            wait = yield from self._phase(
+                self.bus, priority, timing.bus_transfer_ns(op.nbytes)
+            )
+            wait += yield from self._phase(plane, priority, timing.t_prog_ns)
         elif op.kind is OpKind.ERASE:
-            with plane.request(priority) as hold:
-                yield hold
-                yield self.sim.timeout(timing.t_erase_ns)
+            wait = yield from self._phase(plane, priority, timing.t_erase_ns)
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown op kind {op.kind}")
 
         self.ops_executed.add()
-        self.busy_ns.add(self.sim.now - start)
+        self.wait_ns.add(wait)
+        obs = self.obs
+        if obs is not None and obs.trace.enabled:
+            obs.trace.span(
+                f"ch{self.channel}/ops",
+                op.kind.name.lower(),
+                start,
+                self.sim.now,
+                chip=op.address.chip,
+                plane=op.address.plane,
+                block=op.address.block,
+                nbytes=op.nbytes,
+                wait_ns=wait,
+            )
 
     # -- batch helpers ----------------------------------------------------------------
     def execute_all(self, ops: Iterable[FlashOp]):

@@ -75,9 +75,43 @@ class StorageServer:
         self.gets = Counter("server.gets")
         self.puts = Counter("server.puts")
         self.scans = Counter("server.scans")
+        #: Optional :class:`repro.obs.Observability`; see :meth:`attach_obs`.
+        self.obs = None
         if enable_compaction:
             for slice_ in self.slices:
                 sim.process(self._compactor(slice_))
+
+    # -- observability -----------------------------------------------------------------
+    def attach_obs(self, obs) -> None:
+        """Wire this server into an :class:`repro.obs.Observability`.
+
+        Request counters and per-slice counters become snapshot metrics;
+        gets/puts additionally record latency histograms and, when
+        tracing is on, per-slice request spans with queue-wait split out.
+        """
+        self.obs = obs
+        registry = obs.metrics
+        registry.register_counter("server.gets", self.gets)
+        registry.register_counter("server.puts", self.puts)
+        registry.register_counter("server.scans", self.scans)
+        for slice_ in self.slices:
+            slice_.bind_metrics(registry)
+
+    def _note_request(
+        self, kind: str, slice_, start_ns: int, wait_ns: int, **args
+    ) -> None:
+        obs = self.obs
+        now = self.sim.now
+        obs.metrics.histogram(f"server.{kind}_ns").record(now - start_ns)
+        if obs.trace.enabled:
+            obs.trace.span(
+                f"server/slice{slice_.slice_id}",
+                kind,
+                start_ns,
+                now,
+                wait_ns=wait_ns,
+                **args,
+            )
 
     # -- routing -------------------------------------------------------------------
     def route(self, key) -> Slice:
@@ -97,39 +131,47 @@ class StorageServer:
     def handle_get(self, key):
         """Generator -> the value (or None): at most one device read."""
         self.gets.add()
+        start = self.sim.now
         slice_ = self.route(key)
         slice_.reads.add()
         with self._slice_cpu[slice_.slice_id].request() as cpu:
             yield cpu
+            wait_ns = self.sim.now - start
             yield self.sim.timeout(self.per_request_cpu_ns)
         kind, payload = slice_.lsm.get(key)
-        if kind == "value":
-            return payload
-        if kind == "miss":
-            return None
-        value = yield from self.storage.read_value(payload, key)
-        with self._slice_cpu[slice_.slice_id].request() as cpu:
-            yield cpu
-            yield self.sim.timeout(
-                self._cpu_cost_ns(payload.size) - self.per_request_cpu_ns
-            )
-        return value
+        result = payload if kind == "value" else None
+        if kind not in ("value", "miss"):
+            result = yield from self.storage.read_value(payload, key)
+            with self._slice_cpu[slice_.slice_id].request() as cpu:
+                yield cpu
+                yield self.sim.timeout(
+                    self._cpu_cost_ns(payload.size) - self.per_request_cpu_ns
+                )
+        if self.obs is not None:
+            self._note_request("get", slice_, start, wait_ns, source=kind)
+        return result
 
     def handle_put(self, key, value):
         """Generator: insert; blocks only when flushes are backed up."""
         self.puts.add()
+        start = self.sim.now
         slice_ = self.route(key)
         slice_.writes.add()
         from repro.kv.common import sizeof_value
 
         with self._slice_cpu[slice_.slice_id].request() as cpu:
             yield cpu
+            wait_ns = self.sim.now - start
             yield self.sim.timeout(self._cpu_cost_ns(sizeof_value(value)))
         frozen = slice_.lsm.put(key, value)
         if frozen is not None:
             slot = self._flush_slots[slice_.slice_id].request()
             yield slot
             self.sim.process(self._flush(slice_, frozen, slot))
+        if self.obs is not None:
+            self._note_request(
+                "put", slice_, start, wait_ns, flush=frozen is not None
+            )
 
     def handle_delete(self, key):
         """Generator: delete = put of a tombstone."""

@@ -52,6 +52,15 @@ class UserSpaceBlockLayer:
         self.page_size = device.array.geometry.page_size
         self.pages_per_block = device.ftls[0].pages_per_logical_block
 
+        #: Optional :class:`repro.obs.Observability`; wired up (together
+        #: with the cached metric handles below) by
+        #: ``repro.obs.attach_block_layer``.  None keeps every hook a
+        #: single attribute check.
+        self.obs = None
+        self._m_writes = self._m_reads = None
+        self._m_frees = self._m_rewrites = None
+        self._m_backlog: List = []
+
         self._next_id = 0
         self._locations: Dict[int, BlockLocation] = {}
         #: Per channel: erased logical blocks ready for writing.
@@ -91,6 +100,20 @@ class UserSpaceBlockLayer:
         """Number of block IDs currently stored."""
         return len(self._locations)
 
+    def _check_range(self, offset: int, nbytes: Optional[int]) -> int:
+        """Validate a byte range against the block, returning ``nbytes``.
+
+        Shared by the timed and functional read paths so both reject
+        out-of-range requests instead of silently truncating.
+        """
+        if nbytes is None:
+            nbytes = self.block_bytes - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.block_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) outside the block"
+            )
+        return nbytes
+
     # -- data conversion ----------------------------------------------------------
     def _paginate(self, data: Union[bytes, Sequence, None]) -> List:
         """Turn a write payload into exactly ``pages_per_block`` pages."""
@@ -125,7 +148,10 @@ class UserSpaceBlockLayer:
         list, or ``None`` for a sized placeholder.  Rewriting an existing
         ID frees its old block first.
         """
-        if block_id in self._locations:
+        obs = self.obs
+        start = self.sim.now
+        rewrite = block_id in self._locations
+        if rewrite:
             yield from self.free(block_id)
         channel_index = self.placement.choose(block_id, self.loads)
         channel = self.device.channels[channel_index]
@@ -138,6 +164,20 @@ class UserSpaceBlockLayer:
             )
         finally:
             self.loads[channel_index] -= 1
+        if obs is not None:
+            self._m_writes.add()
+            if rewrite:
+                self._m_rewrites.add()
+            if obs.trace.enabled:
+                obs.trace.span(
+                    "blk/write",
+                    "write",
+                    start,
+                    self.sim.now,
+                    block_id=block_id,
+                    channel=channel_index,
+                    rewrite=rewrite,
+                )
 
     def read(self, block_id: int, offset: int = 0, nbytes: Optional[int] = None):
         """Read ``nbytes`` starting at ``offset`` within the block.
@@ -148,20 +188,29 @@ class UserSpaceBlockLayer:
         location = self._locations.get(block_id)
         if location is None:
             raise BlockNotFoundError(block_id)
-        if nbytes is None:
-            nbytes = self.block_bytes - offset
-        if offset < 0 or nbytes < 0 or offset + nbytes > self.block_bytes:
-            raise ValueError(
-                f"range [{offset}, {offset + nbytes}) outside the block"
-            )
+        nbytes = self._check_range(offset, nbytes)
         if nbytes == 0:
             return b""
+        obs = self.obs
+        start_ns = self.sim.now
         first_page = offset // self.page_size
         last_page = (offset + nbytes - 1) // self.page_size
         channel = self.device.channels[location.channel]
         payloads = yield from channel.read(
             location.logical_block, first_page, last_page - first_page + 1
         )
+        if obs is not None:
+            self._m_reads.add()
+            if obs.trace.enabled:
+                obs.trace.span(
+                    "blk/read",
+                    "read",
+                    start_ns,
+                    self.sim.now,
+                    block_id=block_id,
+                    channel=location.channel,
+                    nbytes=nbytes,
+                )
         if all(isinstance(p, (bytes, bytearray)) for p in payloads):
             joined = b"".join(bytes(p) for p in payloads)
             start = offset - first_page * self.page_size
@@ -174,6 +223,11 @@ class UserSpaceBlockLayer:
         if location is None:
             raise BlockNotFoundError(block_id)
         yield self._dirty[location.channel].put(location.logical_block)
+        if self.obs is not None:
+            self._m_frees.add()
+            self._m_backlog[location.channel].update(
+                self.sim.now, len(self._dirty[location.channel])
+            )
 
     # -- erase machinery ------------------------------------------------------------
     def _acquire_block(self, channel_index: int):
@@ -215,10 +269,11 @@ class UserSpaceBlockLayer:
         location = self._locations.get(block_id)
         if location is None:
             raise BlockNotFoundError(block_id)
-        if nbytes is None:
-            nbytes = self.block_bytes - offset
+        nbytes = self._check_range(offset, nbytes)
+        if nbytes == 0:
+            return b""
         first_page = offset // self.page_size
-        last_page = (offset + max(nbytes, 1) - 1) // self.page_size
+        last_page = (offset + nbytes - 1) // self.page_size
         payloads, _ = self.device.ftls[location.channel].read(
             location.logical_block, first_page, last_page - first_page + 1
         )
@@ -243,6 +298,8 @@ class UserSpaceBlockLayer:
         ready = self._ready[channel_index]
         while True:
             logical_block = yield dirty.get()
+            if self.obs is not None:
+                self._m_backlog[channel_index].update(self.sim.now, len(dirty))
             yield from channel.erase(logical_block)
             self.background_erases += 1
             yield ready.put(logical_block)

@@ -25,9 +25,10 @@ from repro.ftl.ops import OpKind
 
 
 class ErasePolicy(Enum):
+    """When freed blocks get erased: background or inline."""
+
     #: Erase freed blocks from a background process (keeps erase off the
     #: write path -- the deployed SDF discipline).
-    """When freed blocks get erased: background or inline."""
     BACKGROUND = "background"
     #: Erase immediately before rewriting a block (write latency then
     #: includes tBERS, as measured for SDF in Figure 8).

@@ -201,6 +201,43 @@ class ChannelBlockFTL:
                 )
         return tuple(group)
 
+    # -- observability -------------------------------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Expose this engine's counters and wear state as pull metrics.
+
+        Registers callbacks on a :class:`repro.obs.MetricsRegistry` (no
+        hot-path cost) and wires the wear pools' ``on_erase`` hook to a
+        live max-erase-count gauge.
+        """
+        prefix = f"ftl.ch{self.channel}"
+        registry.register_callback(
+            f"{prefix}.host_reads", lambda _now: self.host_reads
+        )
+        registry.register_callback(
+            f"{prefix}.host_programs", lambda _now: self.host_programs
+        )
+        registry.register_callback(
+            f"{prefix}.erases", lambda _now: self.erase_count
+        )
+        registry.register_callback(
+            f"{prefix}.free_logical_blocks",
+            lambda _now: self.free_logical_blocks(),
+        )
+        registry.register_callback(
+            f"{prefix}.grown_bad_blocks", lambda _now: self.grown_bad_blocks()
+        )
+        registry.register_callback(
+            f"wear.ch{self.channel}.spread", lambda _now: self.wear_spread()
+        )
+        gauge = registry.gauge(f"wear.ch{self.channel}.max_erase_count")
+
+        def note_erase(block, count, _gauge=gauge):
+            if count > _gauge.value:
+                _gauge.set(count)
+
+        for pool in self._pools:
+            pool.on_erase = note_erase
+
     # -- introspection ---------------------------------------------------------------------
     def free_logical_blocks(self) -> int:
         """Logical blocks writable without an erase."""

@@ -28,6 +28,10 @@ class FreeBlockPool:
         self._erase_counts: Dict[int, int] = {}
         self._heap: List[Tuple[int, int]] = []  # (erase_count, block)
         self._free: set = set()
+        #: Optional wear hook ``fn(block, new_erase_count)`` invoked on
+        #: every recorded erase; used by the observability layer to keep
+        #: live wear metrics.  None (the default) costs one check.
+        self.on_erase: Optional[Callable[[int, int], None]] = None
         for block in blocks:
             self._erase_counts[block] = 0
             self._free.add(block)
@@ -62,6 +66,8 @@ class FreeBlockPool:
             self._erase_counts[block] = 0
         if erased:
             self._erase_counts[block] += 1
+            if self.on_erase is not None:
+                self.on_erase(block, self._erase_counts[block])
         self._free.add(block)
         heapq.heappush(self._heap, (self._erase_counts[block], block))
 
@@ -75,6 +81,8 @@ class FreeBlockPool:
         if block in self._free:
             raise ValueError("block is free; release() records its erase")
         self._erase_counts[block] = self._erase_counts.get(block, 0) + 1
+        if self.on_erase is not None:
+            self.on_erase(block, self._erase_counts[block])
 
     @property
     def min_free_erase_count(self) -> Optional[int]:

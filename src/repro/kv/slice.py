@@ -50,6 +50,16 @@ class Slice:
         self.reads = Counter(f"slice{slice_id}.reads")
         self.writes = Counter(f"slice{slice_id}.writes")
 
+    def bind_metrics(self, registry) -> None:
+        """Adopt this slice's counters into a MetricsRegistry, so a
+        snapshot reports per-slice read/write counts."""
+        registry.register_counter(f"slice{self.slice_id}.reads", self.reads)
+        registry.register_counter(f"slice{self.slice_id}.writes", self.writes)
+        registry.register_callback(
+            f"slice{self.slice_id}.memtable_bytes",
+            lambda _now: self.lsm.memtable.nbytes,
+        )
+
     def owns(self, key) -> bool:
         """True when the key falls in this slice's range."""
         return key in self.key_range

@@ -1,0 +1,269 @@
+"""Span tracing with Chrome ``chrome://tracing`` / Perfetto export.
+
+A :class:`TraceCollector` records timestamped spans on named *tracks*
+(e.g. ``"ch3/bus"`` -- the part before the ``/`` groups tracks into a
+Perfetto "process" row, the part after is the "thread" row).  Two APIs
+are provided:
+
+* :meth:`TraceCollector.span` -- record a complete span whose start and
+  end are both known (the common case: instrumentation sites know the
+  duration when the work finishes);
+* :meth:`TraceCollector.begin` / :meth:`TraceCollector.end` -- a stack
+  discipline per track for nested spans (an outer request span
+  containing inner phase spans).
+
+Timestamps are integer simulated nanoseconds, exactly as kept by
+:class:`repro.sim.engine.Simulator`; the exporter converts to the
+microseconds Chrome expects.  :class:`NullTraceCollector` is the no-op
+default used when tracing is disabled, so untraced runs pay only a
+``None``/``enabled`` check at each instrumentation site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+class Span:
+    """One recorded span: a named interval on a track."""
+
+    __slots__ = ("track", "name", "start_ns", "end_ns", "args")
+
+    def __init__(
+        self,
+        track: str,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        args: Optional[dict] = None,
+    ):
+        if end_ns < start_ns:
+            raise ValueError(f"span ends ({end_ns}) before it starts ({start_ns})")
+        self.track = track
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.args = args or {}
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    def __repr__(self):
+        return (
+            f"Span({self.track!r}, {self.name!r}, "
+            f"[{self.start_ns}, {self.end_ns}) ns)"
+        )
+
+
+class TraceCollector:
+    """Records spans, instants and counter samples for later export."""
+
+    enabled = True
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.spans: List[Span] = []
+        self._instants: List[Tuple[str, str, int, dict]] = []
+        self._counters: List[Tuple[str, str, int, float]] = []
+        self._open: Dict[str, List[Span]] = {}
+        self.max_events = max_events
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def _full(self) -> bool:
+        if self.max_events is not None and len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return True
+        return False
+
+    # -- recording -------------------------------------------------------------
+    def span(
+        self, track: str, name: str, start_ns: int, end_ns: int, **args
+    ) -> Optional[Span]:
+        """Record a complete span (start and end already known)."""
+        if self._full():
+            return None
+        span = Span(track, name, start_ns, end_ns, args)
+        self.spans.append(span)
+        return span
+
+    def begin(self, track: str, name: str, start_ns: int, **args) -> Span:
+        """Open a nested span on a track; close it with :meth:`end`."""
+        span = Span(track, name, start_ns, start_ns, args)
+        self._open.setdefault(track, []).append(span)
+        return span
+
+    def end(self, track: str, end_ns: int) -> Optional[Span]:
+        """Close the innermost open span on the track."""
+        stack = self._open.get(track)
+        if not stack:
+            raise ValueError(f"no open span on track {track!r}")
+        span = stack.pop()
+        span.end_ns = end_ns
+        if self._full():
+            return None
+        self.spans.append(span)
+        return span
+
+    def open_depth(self, track: str) -> int:
+        """How many spans are currently open on the track."""
+        return len(self._open.get(track, ()))
+
+    def instant(self, track: str, name: str, ts_ns: int, **args) -> None:
+        """Record a zero-duration marker."""
+        self._instants.append((track, name, ts_ns, args))
+
+    def counter(self, track: str, name: str, ts_ns: int, value: float) -> None:
+        """Record one sample of a numeric timeline (Chrome 'C' event)."""
+        self._counters.append((track, name, ts_ns, value))
+
+    # -- export ----------------------------------------------------------------
+    def _track_ids(self) -> Dict[str, Tuple[int, int]]:
+        """Map each track to a stable (pid, tid) pair, grouped by the
+        ``proc/thread`` convention."""
+        pids: Dict[str, int] = {}
+        tids: Dict[str, Tuple[int, int]] = {}
+        tracks = sorted(
+            {s.track for s in self.spans}
+            | {t for t, _, _, _ in self._instants}
+            | {t for t, _, _, _ in self._counters}
+        )
+        for track in tracks:
+            proc, _, thread = track.partition("/")
+            pid = pids.setdefault(proc, len(pids) + 1)
+            tids[track] = (pid, len(tids) + 1)
+        return tids
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome JSON object (``traceEvents`` format).
+
+        Load the written file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  Durations are exported in microseconds as
+        the format requires; sub-microsecond spans keep their fractional
+        part.
+        """
+        tids = self._track_ids()
+        events: List[dict] = []
+        procs_named = set()
+        for track, (pid, tid) in tids.items():
+            proc, _, thread = track.partition("/")
+            if pid not in procs_named:
+                procs_named.add(pid)
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "process_name",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": proc},
+                    }
+                )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread or proc},
+                }
+            )
+        for span in self.spans:
+            pid, tid = tids[span.track]
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.track,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start_ns / 1000.0,
+                    "dur": span.duration_ns / 1000.0,
+                    "args": span.args,
+                }
+            )
+        for track, name, ts_ns, args in self._instants:
+            pid, tid = tids[track]
+            events.append(
+                {
+                    "ph": "i",
+                    "name": name,
+                    "cat": track,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ts_ns / 1000.0,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        for track, name, ts_ns, value in self._counters:
+            pid, _ = tids[track]
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts_ns / 1000.0,
+                    "args": {"value": value},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def reset(self) -> None:
+        """Drop all recorded events."""
+        self.spans.clear()
+        self._instants.clear()
+        self._counters.clear()
+        self._open.clear()
+        self.dropped = 0
+
+
+class NullTraceCollector:
+    """No-op collector: every recording method does nothing.
+
+    Instrumentation sites check ``collector.enabled`` (or hold ``None``)
+    before assembling span arguments, so a disabled trace costs one
+    attribute read per site.
+    """
+
+    enabled = False
+
+    def __len__(self) -> int:
+        return 0
+
+    def span(self, track, name, start_ns, end_ns, **args) -> None:
+        return None
+
+    def begin(self, track, name, start_ns, **args) -> None:
+        return None
+
+    def end(self, track, end_ns) -> None:
+        return None
+
+    def open_depth(self, track) -> int:
+        return 0
+
+    def instant(self, track, name, ts_ns, **args) -> None:
+        return None
+
+    def counter(self, track, name, ts_ns, value) -> None:
+        return None
+
+    def chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def reset(self) -> None:
+        return None

@@ -30,11 +30,15 @@ class Request(Event):
         # released on exit
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "queued_at", "granted_at")
 
     def __init__(self, sim, resource: "Resource"):
         super().__init__(sim)
         self.resource = resource
+        #: Timestamps for tracing: when the request was queued (only
+        #: recorded while tracing is enabled) and when it was granted.
+        self.queued_at: Optional[int] = None
+        self.granted_at: Optional[int] = None
 
     def __enter__(self) -> "Request":
         return self
@@ -44,13 +48,21 @@ class Request(Event):
 
 
 class Resource:
-    """A FIFO resource with ``capacity`` identical slots."""
+    """A FIFO resource with ``capacity`` identical slots.
 
-    def __init__(self, sim: "Simulator", capacity: int = 1):
+    A non-empty ``name`` opts the resource into tracing: when the
+    simulator carries an attached :class:`repro.obs.Observability` with
+    tracing enabled, every completed hold emits a span on the track
+    named after the resource (acquire -> release, with the queue wait
+    recorded as a span argument).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self._users: set = set()
         self._waiting: deque = deque()
 
@@ -67,6 +79,8 @@ class Resource:
     def request(self) -> Request:
         """Ask for a slot; the returned event fires when it is granted."""
         req = Request(self.sim, self)
+        if self.name and self.sim.obs is not None:
+            req.queued_at = self.sim.now
         self._waiting.append(req)
         self._grant()
         return req
@@ -75,6 +89,8 @@ class Resource:
         """Return a slot (or cancel a not-yet-granted request)."""
         if request in self._users:
             self._users.discard(request)
+            if self.name:
+                self._trace_release(request)
             self._grant()
         else:
             try:
@@ -82,10 +98,24 @@ class Resource:
             except ValueError:
                 pass
 
+    def _trace_release(self, request: Request) -> None:
+        """Emit a hold span for a just-released granted request."""
+        obs = self.sim.obs
+        if obs is None or not obs.trace.enabled:
+            return
+        start = request.granted_at
+        if start is None:  # granted before tracing was attached
+            return
+        args = {}
+        if request.queued_at is not None:
+            args["wait_ns"] = start - request.queued_at
+        obs.trace.span(self.name, "hold", start, self.sim.now, **args)
+
     def _grant(self) -> None:
         while self._waiting and len(self._users) < self.capacity:
             req = self._waiting.popleft()
             self._users.add(req)
+            req.granted_at = self.sim.now
             req.succeed(req)
 
     def acquire(self, hold_ns: int):
@@ -115,8 +145,8 @@ class PriorityRequest(Request):
 class PriorityResource(Resource):
     """A resource whose wait queue is ordered by request priority."""
 
-    def __init__(self, sim: "Simulator", capacity: int = 1):
-        super().__init__(sim, capacity)
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity, name)
         self._waiting: list = []
         self._order = 0
 
@@ -124,6 +154,8 @@ class PriorityResource(Resource):
         """Ask for a slot; the returned event fires when granted."""
         self._order += 1
         req = PriorityRequest(self.sim, self, priority, self._order)
+        if self.name and self.sim.obs is not None:
+            req.queued_at = self.sim.now
         heapq.heappush(self._waiting, (req._key(), req))
         self._grant()
         return req
@@ -132,6 +164,8 @@ class PriorityResource(Resource):
         """Return a held slot (or cancel a queued request)."""
         if request in self._users:
             self._users.discard(request)
+            if self.name:
+                self._trace_release(request)
             self._grant()
         else:
             self._waiting = [
@@ -143,6 +177,7 @@ class PriorityResource(Resource):
         while self._waiting and len(self._users) < self.capacity:
             _, req = heapq.heappop(self._waiting)
             self._users.add(req)
+            req.granted_at = self.sim.now
             req.succeed(req)
 
 

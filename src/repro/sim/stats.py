@@ -61,22 +61,40 @@ class ThroughputMeter:
         """Number of recorded samples."""
         return len(self._samples)
 
-    def bytes_in(self, t0: int, t1: int) -> int:
-        """Bytes recorded in the half-open window ``(t0, t1]``."""
+    def bytes_in(self, t0: int, t1: int, include_start: bool = False) -> int:
+        """Bytes recorded in the half-open window ``(t0, t1]``.
+
+        Samples are *completion* timestamps, so the window is open at
+        ``t0``: a transfer finishing exactly at the window start belongs
+        to the previous window, which keeps adjacent windows disjoint.
+        Pass ``include_start=True`` for the closed window ``[t0, t1]``
+        (used by :meth:`mb_per_s` when it defaults ``t0`` to the
+        earliest sample, which must then be counted).
+        """
+        if include_start:
+            return sum(n for t, n in self._samples if t0 <= t <= t1)
         return sum(n for t, n in self._samples if t0 < t <= t1)
 
     def mb_per_s(
         self, t0: Optional[int] = None, t1: Optional[int] = None
     ) -> float:
-        """Decimal MB/s over the window (defaults to first..last sample)."""
+        """Decimal MB/s over the window (defaults to first..last sample).
+
+        An explicit ``t0`` keeps the half-open ``(t0, t1]`` convention;
+        when ``t0`` is omitted the window closes at the earliest sample
+        so its bytes are included rather than silently dropped.
+        """
         if not self._samples:
             return 0.0
         times = [t for t, _ in self._samples]
+        include_start = t0 is None
         lo = min(times) if t0 is None else t0
         hi = max(times) if t1 is None else t1
         if hi <= lo:
             return 0.0
-        return self.bytes_in(lo, hi) / MB_DEC / ((hi - lo) / S)
+        return (
+            self.bytes_in(lo, hi, include_start) / MB_DEC / ((hi - lo) / S)
+        )
 
     def gb_per_s(
         self, t0: Optional[int] = None, t1: Optional[int] = None

@@ -179,3 +179,51 @@ def test_build_engines_creates_independent_channels():
     assert len(engines) == 4
     assert engines[0].bus is not engines[1].bus
     assert [e.channel for e in engines] == [0, 1, 2, 3]
+
+
+def test_busy_excludes_queue_wait():
+    """Regression: busy_ns used to include queue wait, so 'utilisation'
+    could exceed 100%.  Two reads contending for the same plane: the
+    second op's wait must land in wait_ns, not busy_ns."""
+    ops = [read_op(addr(page=i), PAGE) for i in range(8)]
+    elapsed, engine = run_ops(ops)
+    assert engine.busy_ns.value <= elapsed
+    assert engine.wait_ns.value > 0
+    # Old accounting summed per-op latency (wait included), far above
+    # the wall clock; the union of service intervals never is.
+    per_op_total = 8 * (75 * US + 209_800)
+    assert engine.busy_ns.value < per_op_total
+
+
+def test_utilization_is_a_fraction_under_heavy_contention():
+    ops = [read_op(addr(page=i), PAGE) for i in range(32)]
+    sim = Simulator()
+    engine = make_engine(sim)
+
+    def proc():
+        yield from engine.execute_all(ops)
+
+    sim.run(until=sim.process(proc()))
+    assert 0.0 < engine.utilization() <= 1.0
+    # Saturated single-plane pipeline: the channel is nearly always busy.
+    assert engine.utilization() > 0.9
+
+
+def test_utilization_counts_overlapping_planes_once():
+    """Four planes programming concurrently: summed service time spans
+    ~4x tPROG, but the busy *union* cannot exceed the wall clock."""
+    ops = [
+        program_op(PhysicalAddress(0, chip, plane, 0, 0), PAGE)
+        for chip in range(2)
+        for plane in range(2)
+    ]
+    elapsed, engine = run_ops(ops)
+    assert engine.busy_ns.value <= elapsed
+    assert engine.utilization(elapsed) <= 1.0
+
+
+def test_idle_engine_reports_zero_utilization():
+    sim = Simulator()
+    engine = make_engine(sim)
+    assert engine.utilization() == 0.0
+    assert engine.wait_ns.value == 0

@@ -163,3 +163,58 @@ def test_facade_repr_mentions_state():
     system = small_system()
     system.put(b"x")
     assert "stored_blocks=1" in repr(system)
+
+
+def test_functional_read_validates_range_like_read():
+    """Regression: functional_read skipped the offset/nbytes validation
+    that read() enforces, silently returning truncated/empty bytes."""
+    system = small_system()
+    block_id = system.put(b"abc")
+    layer = system.block_layer
+    functional = layer.functional_read(block_id, 0, 3)
+    assert functional == b"abc"
+    with pytest.raises(ValueError, match="outside the block"):
+        layer.functional_read(block_id, -1, 2)
+    with pytest.raises(ValueError, match="outside the block"):
+        layer.functional_read(block_id, 0, layer.block_bytes + 1)
+    with pytest.raises(ValueError, match="outside the block"):
+        layer.functional_read(block_id, layer.block_bytes + 10)
+    assert layer.functional_read(block_id, 5, 0) == b""
+
+
+def test_functional_and_timed_reads_agree_on_edges():
+    system = small_system()
+    page = system.block_layer.page_size
+    payload = b"X" * page + b"Y" * page
+    block_id = system.put(payload)
+    for offset, nbytes in [(0, 1), (page - 1, 2), (page, page), (0, 2 * page)]:
+        assert system.block_layer.functional_read(
+            block_id, offset, nbytes
+        ) == system.get(block_id, offset, nbytes)
+
+
+def test_rewrite_in_flight_write_lands_consistently():
+    """A rewrite issued while the freed block's background erase is
+    still in flight must not corrupt the ID map: the final read sees
+    the new data and exactly one location stays mapped."""
+    system = small_system(n_channels=1)
+    layer = system.block_layer
+    sim = system.sim
+    block_id = system.put(b"generation-0")
+    results = {}
+
+    def rewriter():
+        # Free + rewrite back-to-back: the freed block is still queued
+        # for its 3 ms erase while the new write streams pages.
+        yield from layer.write(block_id, b"generation-1")
+        results["after_first"] = sim.now
+        yield from layer.write(block_id, b"generation-2")
+
+    sim.run(until=sim.process(rewriter()))
+    sim.run(until=sim.now + 50 * MS)  # drain background erases
+    assert system.get(block_id, 0, 12) == b"generation-2"
+    assert layer.stored_blocks == 1
+    assert layer.background_erases == 2
+    # Every freed block returned to the ready pool; nothing leaked.
+    n_blocks = system.device.ftls[0].n_logical_blocks
+    assert len(layer._ready[0]) == n_blocks - 1

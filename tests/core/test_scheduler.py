@@ -47,3 +47,10 @@ def test_erase_policy_values():
     assert ErasePolicy.BACKGROUND.value == "background"
     assert ErasePolicy.INLINE.value == "inline"
     assert ErasePolicy("inline") is ErasePolicy.INLINE
+
+
+def test_erase_policy_docstring_and_member_docs():
+    """Regression: the class docstring sat between the `#:` comment and
+    BACKGROUND, detaching the member documentation."""
+    assert ErasePolicy.__doc__.startswith("When freed blocks get erased")
+    assert list(ErasePolicy) == [ErasePolicy.BACKGROUND, ErasePolicy.INLINE]

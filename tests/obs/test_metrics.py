@@ -1,0 +1,84 @@
+"""Unit tests for the metrics registry, snapshot and text report."""
+
+import pytest
+
+from repro.obs import Gauge, Histogram, MetricsRegistry
+from repro.sim.stats import Counter
+
+
+def test_accessors_create_on_first_use_and_are_stable():
+    registry = MetricsRegistry()
+    counter = registry.counter("blk.writes")
+    counter.add(3)
+    assert registry.counter("blk.writes") is counter
+    assert registry.snapshot()["blk.writes"] == 3
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("depth")
+    gauge.set(4.0)
+    gauge.add(-1.5)
+    assert gauge.value == pytest.approx(2.5)
+
+
+def test_histogram_summary_quantiles():
+    histogram = Histogram("lat")
+    for value in range(1, 101):
+        histogram.record(value)
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1 and summary["max"] == 100
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p99"] == pytest.approx(99.01)
+    assert Histogram("empty").summary() == {"count": 0}
+
+
+def test_time_weighted_snapshot_uses_supplied_time():
+    registry = MetricsRegistry()
+    signal = registry.time_weighted("queue", start_ns=0)
+    signal.update(10, 4)  # 0 until t=10, then 4
+    snap = registry.snapshot(20)
+    assert snap["queue"] == pytest.approx((0 * 10 + 4 * 10) / 20)
+
+
+def test_register_existing_counter_and_callback():
+    registry = MetricsRegistry()
+    external = Counter("slice.reads")
+    external.add(7)
+    registry.register_counter("slice0.reads", external)
+    registry.register_callback("util", lambda now: 0.25 if now is None else now)
+    assert registry.snapshot()["slice0.reads"] == 7
+    assert registry.snapshot()["util"] == 0.25
+    assert registry.snapshot(99)["util"] == 99
+
+
+def test_names_cover_every_kind():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    registry.gauge("b")
+    registry.histogram("c")
+    registry.time_weighted("d")
+    registry.register_callback("e", lambda now: 1)
+    assert registry.names() == ["a", "b", "c", "d", "e"]
+
+
+def test_report_renders_flat_table_with_expanded_histograms():
+    registry = MetricsRegistry()
+    registry.counter("blk.writes").add(2)
+    registry.histogram("lat").record(5)
+    report = registry.report(title="t")
+    assert "blk.writes" in report
+    assert "lat.p50" in report
+    assert report.splitlines()[0] == "t"
+
+
+def test_reset_clears_counters_and_histograms():
+    registry = MetricsRegistry()
+    registry.counter("a").add(5)
+    registry.histogram("h").record(1)
+    registry.gauge("g").set(3)
+    registry.reset()
+    snap = registry.snapshot()
+    assert snap["a"] == 0
+    assert snap["h"] == {"count": 0}
+    assert snap["g"] == 3  # gauges keep their last set value

@@ -1,0 +1,103 @@
+"""Unit tests for the trace collector and its Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import NullTraceCollector, Span, TraceCollector
+
+
+def test_complete_span_records_duration_and_args():
+    trace = TraceCollector()
+    span = trace.span("ch0/bus", "hold", 100, 350, wait_ns=40)
+    assert span.duration_ns == 250
+    assert span.args == {"wait_ns": 40}
+    assert len(trace) == 1
+
+
+def test_span_rejects_negative_duration():
+    with pytest.raises(ValueError, match="ends"):
+        Span("t", "x", 100, 50)
+
+
+def test_begin_end_nesting_stack_per_track():
+    trace = TraceCollector()
+    trace.begin("srv/slice0", "get", 0)
+    trace.begin("srv/slice0", "storage_read", 10)
+    assert trace.open_depth("srv/slice0") == 2
+    inner = trace.end("srv/slice0", 90)
+    outer = trace.end("srv/slice0", 120)
+    assert trace.open_depth("srv/slice0") == 0
+    assert inner.name == "storage_read" and inner.duration_ns == 80
+    assert outer.name == "get" and outer.duration_ns == 120
+    # The inner span is fully contained in the outer one.
+    assert outer.start_ns <= inner.start_ns
+    assert inner.end_ns <= outer.end_ns
+
+
+def test_end_without_open_span_raises():
+    trace = TraceCollector()
+    with pytest.raises(ValueError, match="no open span"):
+        trace.end("nowhere", 10)
+
+
+def test_chrome_trace_is_valid_json_with_metadata(tmp_path):
+    trace = TraceCollector()
+    trace.span("ch0/bus", "hold", 1000, 3000)
+    trace.span("ch0/chip0.plane1", "hold", 0, 2000)
+    trace.span("ch1/bus", "hold", 500, 700)
+    trace.instant("ch0/bus", "grown-bad", 2500, block=7)
+    trace.counter("ch0", "queue_depth", 1500, 3)
+    path = tmp_path / "out.trace.json"
+    trace.write(path)
+
+    parsed = json.loads(path.read_text())
+    events = parsed["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 3
+    # Timestamps exported in microseconds.
+    hold = next(e for e in spans if e["cat"] == "ch0/bus")
+    assert hold["ts"] == pytest.approx(1.0)
+    assert hold["dur"] == pytest.approx(2.0)
+    # Tracks sharing a "proc/" prefix share a pid; different procs don't.
+    pid_of = {e["cat"]: e["pid"] for e in spans}
+    assert pid_of["ch0/bus"] == next(
+        e["pid"] for e in spans if e["cat"] == "ch0/chip0.plane1"
+    )
+    assert pid_of["ch0/bus"] != pid_of["ch1/bus"]
+    # Process/thread name metadata present for Perfetto grouping.
+    assert {m["name"] for m in metas} >= {"process_name", "thread_name"}
+    assert any(e["ph"] == "i" for e in events)
+    assert any(e["ph"] == "C" for e in events)
+
+
+def test_max_events_cap_counts_dropped_spans():
+    trace = TraceCollector(max_events=2)
+    for index in range(5):
+        trace.span("t", "s", index, index + 1)
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_reset_clears_everything():
+    trace = TraceCollector()
+    trace.span("t", "s", 0, 1)
+    trace.begin("t", "open", 2)
+    trace.reset()
+    assert len(trace) == 0
+    assert trace.open_depth("t") == 0
+
+
+def test_null_collector_is_inert_but_writes_empty_trace(tmp_path):
+    null = NullTraceCollector()
+    assert null.enabled is False
+    assert null.span("t", "s", 0, 1) is None
+    assert null.begin("t", "s", 0) is None
+    assert null.end("t", 1) is None
+    null.instant("t", "i", 0)
+    null.counter("t", "c", 0, 1)
+    assert len(null) == 0
+    path = tmp_path / "empty.json"
+    null.write(path)
+    assert json.loads(path.read_text())["traceEvents"] == []

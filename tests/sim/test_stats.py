@@ -107,3 +107,25 @@ def test_transfer_ns_and_mb_per_s_roundtrip():
 
 def test_time_units_are_consistent():
     assert US == 1_000 and MS == 1_000_000 and S == 1_000_000_000
+
+
+def test_throughput_meter_default_window_includes_earliest_sample():
+    """Regression: mb_per_s() used the half-open (t0, t1] window even
+    when t0 defaulted to the earliest sample, silently dropping it."""
+    meter = ThroughputMeter()
+    meter.record(1 * S, 10_000_000)
+    meter.record(2 * S, 10_000_000)
+    # 20 MB over the 1 s between first and last sample: both count.
+    assert meter.mb_per_s() == pytest.approx(20.0)
+
+
+def test_throughput_meter_explicit_window_stays_half_open():
+    """Explicit windows keep the (t0, t1] convention so adjacent
+    windows never double-count a sample on the boundary."""
+    meter = ThroughputMeter()
+    meter.record(1 * S, 10_000_000)
+    meter.record(2 * S, 30_000_000)
+    assert meter.bytes_in(1 * S, 2 * S) == 30_000_000
+    assert meter.bytes_in(0, 1 * S) == 10_000_000
+    assert meter.bytes_in(1 * S, 2 * S, include_start=True) == 40_000_000
+    assert meter.mb_per_s(1 * S, 2 * S) == pytest.approx(30.0)
