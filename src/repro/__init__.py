@@ -13,7 +13,10 @@ The package implements, in pure Python:
 * the CCDB LSM-tree KV store and cluster/workload models the evaluation
   runs on (:mod:`repro.kv`, :mod:`repro.cluster`, :mod:`repro.workloads`);
 * analytic models for capacity, cost and reliability
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`);
+* observability (:mod:`repro.obs`) and deterministic fault injection
+  (:mod:`repro.faults`), both attachable to an already-built system
+  behind no-op defaults.
 
 Quickstart::
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.faults.injector import NULL_INJECTOR, STALL
 from repro.ftl.ops import FlashOp, OpKind
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
@@ -62,6 +63,9 @@ class ChannelEngine:
         #: Optional :class:`repro.obs.Observability`; set by
         #: ``repro.obs.attach_device``.  None keeps all hooks no-ops.
         self.obs = None
+        #: Fault-injection handle (channel ``stall`` latency spikes);
+        #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
+        self.faults = NULL_INJECTOR
         self._in_service = 0
         self._busy_since = 0
         self._queued = 0
@@ -132,6 +136,13 @@ class ChannelEngine:
                 f"{self.channel}"
             )
         start = self.sim.now
+        stall_ns = self.faults.delay_ns(
+            STALL, op=op.kind.name.lower(), chip=op.address.chip
+        )
+        if stall_ns > 0:
+            # A controller hiccup: the op sits on the channel doing
+            # nothing before contending for resources.
+            yield self.sim.timeout(stall_ns)
         priority = self.priorities[op.kind]
         plane = self._planes[(op.address.chip, op.address.plane)]
         timing = self.timing

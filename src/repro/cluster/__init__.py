@@ -17,15 +17,30 @@ commodity SSD.  This is the testbed every production-system experiment
   replaces on-device parity (S2.2).
 """
 
-from repro.cluster.client import BatchSpec, KVClient, run_clients
-from repro.cluster.network import Network, Nic, TEN_GBE_MB_S
+from repro.cluster.client import (
+    BatchSpec,
+    KVClient,
+    RequestAbandonedError,
+    run_clients,
+)
+from repro.cluster.network import (
+    MessageDroppedError,
+    Network,
+    Nic,
+    TEN_GBE_MB_S,
+)
 from repro.cluster.node import (
+    NodeDownError,
     SERVER_CONFIG,
     StorageServer,
     build_conventional_server,
     build_sdf_server,
 )
-from repro.cluster.replication import ReplicatedKV, ReplicaReadError
+from repro.cluster.replication import (
+    ReplicatedKV,
+    ReplicaReadError,
+    ReplicaWriteError,
+)
 from repro.cluster.storage import (
     ConventionalNodeStorage,
     SDFNodeStorage,
@@ -35,15 +50,19 @@ __all__ = [
     "Nic",
     "Network",
     "TEN_GBE_MB_S",
+    "MessageDroppedError",
     "SDFNodeStorage",
     "ConventionalNodeStorage",
     "StorageServer",
     "SERVER_CONFIG",
+    "NodeDownError",
     "build_sdf_server",
     "build_conventional_server",
     "KVClient",
     "BatchSpec",
+    "RequestAbandonedError",
     "run_clients",
     "ReplicatedKV",
     "ReplicaReadError",
+    "ReplicaWriteError",
 ]

@@ -16,10 +16,20 @@ import numpy as np
 
 from repro.cluster.network import Network, Nic, TEN_GBE_MB_S
 from repro.cluster.node import StorageServer
+from repro.faults.errors import TransientFault
+from repro.faults.retry import (
+    RetryPolicy,
+    defuse_on_failure,
+    race_with_timeout,
+)
 from repro.kv.common import PlaceholderValue
 from repro.kv.slice import Slice
 from repro.sim import AllOf, Simulator
 from repro.sim.stats import LatencyRecorder, ThroughputMeter
+
+
+class RequestAbandonedError(Exception):
+    """A client request exhausted its retry budget."""
 
 #: Size of one KV request/response envelope (headers, key, status).
 ENVELOPE_BYTES = 256
@@ -55,6 +65,7 @@ class KVClient:
         keys: Optional[List] = None,
         rng: Optional[np.random.Generator] = None,
         name: str = "client",
+        retry: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.network = network
@@ -67,6 +78,10 @@ class KVClient:
         self.meter = ThroughputMeter(f"{name}.data")
         self.latency = LatencyRecorder(f"{name}.latency")
         self.requests_completed = 0
+        self.requests_retried = 0
+        #: Optional per-request timeout/backoff policy.  ``None`` (the
+        #: default) keeps the historical fail-fast single attempt.
+        self.retry = retry
         self._write_seq = 0
 
     # -- key selection ---------------------------------------------------------------
@@ -93,7 +108,44 @@ class KVClient:
             yield from self.request_once()
 
     def request_once(self):
-        """One synchronous batched request (the unit the paper measures)."""
+        """One synchronous batched request (the unit the paper measures).
+
+        Without a retry policy the request runs inline (identical event
+        sequence to the original client).  With one, each attempt is
+        raced against ``timeout_ns``; a timed-out or transiently failed
+        attempt is abandoned and reissued after exponential backoff with
+        jitter, until the attempt budget is spent.
+        """
+        if self.retry is None:
+            yield from self._attempt_once()
+            return
+        policy = self.retry
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                self.requests_retried += 1
+                yield self.sim.timeout(
+                    policy.backoff_ns(attempt - 1, self.rng)
+                )
+            proc = self.sim.process(self._attempt_once())
+            try:
+                done, _ = yield from race_with_timeout(
+                    self.sim, proc, policy.timeout_ns
+                )
+            except TransientFault as exc:  # dropped message, node down
+                last_error = exc
+                continue
+            if done:
+                return
+            last_error = TimeoutError(
+                f"request exceeded {policy.timeout_ns} ns"
+            )
+        raise RequestAbandonedError(
+            f"request failed after {policy.max_attempts} attempts"
+        ) from last_error
+
+    def _attempt_once(self):
+        """Generator: one request attempt (the original request body)."""
         spec = self.spec
         start = self.sim.now
         if spec.mode == "read":
@@ -125,13 +177,21 @@ class KVClient:
                 )
                 return value
 
-            subs = [self.sim.process(sub_read(key)) for key in keys]
+            # Defused at spawn: if several subs fail (drops, a crash),
+            # only the first reaches us through the AllOf; the rest must
+            # not crash the kernel's unobserved-failure check.
+            subs = [
+                defuse_on_failure(self.sim.process(sub_read(key)))
+                for key in keys
+            ]
             yield AllOf(self.sim, subs)
         else:
             subs = [
-                self.sim.process(
-                    self.server.handle_put(
-                        key, PlaceholderValue(spec.value_bytes)
+                defuse_on_failure(
+                    self.sim.process(
+                        self.server.handle_put(
+                            key, PlaceholderValue(spec.value_bytes)
+                        )
                     )
                 )
                 for key in keys

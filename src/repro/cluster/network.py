@@ -8,12 +8,18 @@ small per-message switch latency.
 
 from __future__ import annotations
 
+from repro.faults.errors import TransientFault
+from repro.faults.injector import DELAY, DROP, NULL_INJECTOR
 from repro.sim import Resource, Simulator
 from repro.sim.units import KIB, transfer_ns
 
 #: 10 Gbps Ethernet ~ 1250 MB/s line rate; ~1180 MB/s effective after
 #: framing overheads.
 TEN_GBE_MB_S = 1180.0
+
+
+class MessageDroppedError(TransientFault):
+    """A network message was lost in the fabric; the sender must retry."""
 
 
 class Nic:
@@ -69,6 +75,10 @@ class Network:
         self.latency_ns = latency_ns
         self.messages = 0
         self.bytes_moved = 0
+        self.drops = 0
+        #: Fault-injection handle (``drop``/``delay``);
+        #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
+        self.faults = NULL_INJECTOR
 
     def send(self, src: Nic, dst: Nic, nbytes: int):
         """Generator: move one message from ``src`` to ``dst``.
@@ -76,10 +86,20 @@ class Network:
         Each chunk occupies the source tx lane and the destination rx
         lane simultaneously (cut-through switching): a single flow runs
         at line rate and concurrent flows share the contended lane.
+
+        Raises :class:`MessageDroppedError` when the fault plane drops
+        the message (before any bandwidth is consumed, as a switch
+        dropping a frame at ingress would).
         """
         if nbytes < 0:
             raise ValueError("negative message size")
-        yield self.sim.timeout(self.latency_ns)
+        if self.faults.fires(DROP, src=src.name, dst=dst.name, nbytes=nbytes) is not None:
+            self.drops += 1
+            raise MessageDroppedError(
+                f"message {src.name} -> {dst.name} ({nbytes} B) dropped"
+            )
+        extra_ns = self.faults.delay_ns(DELAY, src=src.name, dst=dst.name, nbytes=nbytes)
+        yield self.sim.timeout(self.latency_ns + extra_ns)
         remaining = max(nbytes, 1)
         while remaining > 0:
             chunk = min(remaining, min(src.chunk_bytes, dst.chunk_bytes))

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.cluster.network import Nic, TEN_GBE_MB_S
 from repro.cluster.storage import ConventionalNodeStorage, SDFNodeStorage
+from repro.faults.errors import TransientFault
 from repro.kv.common import PlaceholderValue
 from repro.kv.compaction import split_patch
 from repro.kv.slice import Slice
@@ -33,6 +34,10 @@ SERVER_CONFIG = {
 }
 
 
+class NodeDownError(TransientFault):
+    """Request sent to a crashed server; callers fail over or retry."""
+
+
 class StorageServer:
     """One storage node hosting CCDB slices."""
 
@@ -46,6 +51,7 @@ class StorageServer:
         max_pending_patches: int = 2,
         enable_compaction: bool = True,
         nic: Optional[Nic] = None,
+        wal_replay_ns_per_record: int = 2_000,
     ):
         if not slices:
             raise ValueError("a server needs at least one slice")
@@ -72,11 +78,22 @@ class StorageServer:
         self._compaction_pokes = {s.slice_id: Store(sim) for s in self.slices}
         self.compaction_read_meter = ThroughputMeter("compaction.read")
         self.compaction_write_meter = ThroughputMeter("compaction.write")
+        #: Merges abandoned on a transient storage fault (retried on the
+        #: next flush poke; nothing is mutated before ``apply_compaction``).
+        self.compaction_aborts = Counter("compaction.aborts")
         self.gets = Counter("server.gets")
         self.puts = Counter("server.puts")
         self.scans = Counter("server.scans")
         #: Optional :class:`repro.obs.Observability`; see :meth:`attach_obs`.
         self.obs = None
+        #: Liveness: requests raise :class:`NodeDownError` while False.
+        self.up = True
+        #: Bumped on every crash; in-flight background work from an
+        #: earlier epoch discards its results instead of registering them.
+        self._epoch = 0
+        self.wal_replay_ns_per_record = wal_replay_ns_per_record
+        self.crashes = 0
+        self.restarts = 0
         if enable_compaction:
             for slice_ in self.slices:
                 sim.process(self._compactor(slice_))
@@ -113,6 +130,76 @@ class StorageServer:
                 **args,
             )
 
+    # -- crash / recovery --------------------------------------------------------------
+    def _check_up(self) -> None:
+        if not self.up:
+            raise NodeDownError(f"server is down (epoch {self._epoch})")
+
+    def crash(self) -> int:
+        """Fail-stop the server *now* (synchronous, no simulated time).
+
+        Volatile per-slice state (memtables, frozen-but-unstored patches)
+        is lost; registered runs and the WAL survive.  New requests raise
+        :class:`NodeDownError`; requests already past their liveness
+        checks run to completion against the post-crash state, modelling
+        responses that were in flight when the machine died -- the
+        client-side timeout is what bounds those.  Returns the number of
+        pending patches lost.
+        """
+        if not self.up:
+            raise RuntimeError("crash() on a server that is already down")
+        self.up = False
+        self._epoch += 1
+        self.crashes += 1
+        lost = 0
+        for slice_ in self.slices:
+            lost += slice_.lsm.lose_volatile()
+        if self.obs is not None:
+            self.obs.metrics.counter("server.crashes").add(1)
+            if self.obs.trace.enabled:
+                self.obs.trace.instant(
+                    "server/lifecycle",
+                    "crash",
+                    self.sim.now,
+                    epoch=self._epoch,
+                    lost_pending=lost,
+                )
+        return lost
+
+    def restart(self):
+        """Generator: bring the server back up, replaying each slice's
+        WAL (charged at ``wal_replay_ns_per_record``).  Containers that
+        re-freeze during replay are stored before the node goes live, so
+        a recovered server serves exactly the acknowledged state.
+        """
+        if self.up:
+            raise RuntimeError("restart() on a server that is up")
+        start = self.sim.now
+        replayed = 0
+        for slice_ in self.slices:
+            n_records, refrozen = slice_.lsm.recover()
+            replayed += n_records
+            for frozen in refrozen:
+                handle = yield from self.storage.store_patch(frozen.patch)
+                slice_.lsm.register_patch(frozen, handle)
+        if replayed:
+            yield self.sim.timeout(replayed * self.wal_replay_ns_per_record)
+        self.up = True
+        self.restarts += 1
+        for slice_ in self.slices:
+            yield self._compaction_pokes[slice_.slice_id].put(True)
+        if self.obs is not None:
+            self.obs.metrics.counter("server.restarts").add(1)
+            if self.obs.trace.enabled:
+                self.obs.trace.span(
+                    "server/lifecycle",
+                    "wal_replay",
+                    start,
+                    self.sim.now,
+                    records=replayed,
+                )
+        return replayed
+
     # -- routing -------------------------------------------------------------------
     def route(self, key) -> Slice:
         """The slice owning this key (KeyError if none)."""
@@ -130,6 +217,7 @@ class StorageServer:
 
     def handle_get(self, key):
         """Generator -> the value (or None): at most one device read."""
+        self._check_up()
         self.gets.add()
         start = self.sim.now
         slice_ = self.route(key)
@@ -138,6 +226,9 @@ class StorageServer:
             yield cpu
             wait_ns = self.sim.now - start
             yield self.sim.timeout(self.per_request_cpu_ns)
+        # The node may have died while this request queued; answering
+        # from post-crash DRAM state could serve a stale miss.
+        self._check_up()
         kind, payload = slice_.lsm.get(key)
         result = payload if kind == "value" else None
         if kind not in ("value", "miss"):
@@ -153,6 +244,7 @@ class StorageServer:
 
     def handle_put(self, key, value):
         """Generator: insert; blocks only when flushes are backed up."""
+        self._check_up()
         self.puts.add()
         start = self.sim.now
         slice_ = self.route(key)
@@ -163,11 +255,18 @@ class StorageServer:
             yield cpu
             wait_ns = self.sim.now - start
             yield self.sim.timeout(self._cpu_cost_ns(sizeof_value(value)))
+        # A put must never be acknowledged out of a dead epoch: the
+        # memtable it would land in no longer backs any acked state.
+        self._check_up()
         frozen = slice_.lsm.put(key, value)
         if frozen is not None:
+            # Capture the epoch before blocking on a flush slot: if the
+            # node crashes while we wait, the frozen patch was wiped with
+            # the rest of volatile state and must not be registered.
+            epoch = self._epoch
             slot = self._flush_slots[slice_.slice_id].request()
             yield slot
-            self.sim.process(self._flush(slice_, frozen, slot))
+            self.sim.process(self._flush(slice_, frozen, slot, epoch))
         if self.obs is not None:
             self._note_request(
                 "put", slice_, start, wait_ns, flush=frozen is not None
@@ -196,6 +295,7 @@ class StorageServer:
         slice's handler thread like any other request.
         """
         if slice_ is not None:
+            self._check_up()
             with self._slice_cpu[slice_.slice_id].request() as cpu:
                 yield cpu
                 yield self.sim.timeout(self.per_request_cpu_ns)
@@ -205,9 +305,17 @@ class StorageServer:
         return patch
 
     # -- background work ---------------------------------------------------------------
-    def _flush(self, slice_: Slice, frozen, slot):
+    def _flush(self, slice_: Slice, frozen, slot, epoch: Optional[int] = None):
+        if epoch is None:
+            epoch = self._epoch
         try:
             handle = yield from self.storage.store_patch(frozen.patch)
+            if epoch != self._epoch:
+                # The server crashed while this patch was in flight; its
+                # records are still (durably) in the WAL, so the stored
+                # copy is an orphan -- free it instead of registering.
+                yield from self.storage.free_patch(handle)
+                return
             slice_.lsm.register_patch(frozen, handle)
             yield self._compaction_pokes[slice_.slice_id].put(True)
         finally:
@@ -219,30 +327,43 @@ class StorageServer:
         while True:
             yield pokes.get()
             while True:
+                if not self.up:
+                    # Stand down while crashed; restart() pokes us awake.
+                    break
                 task = slice_.lsm.pick_compaction()
                 if task is None:
                     break
-                patches = []
-                for handle in slice_.lsm.run_handles(task):
-                    patch = yield from self.storage.read_patch(handle)
-                    self.compaction_read_meter.record(
-                        self.sim.now, patch.nbytes
+                try:
+                    patches = []
+                    for handle in slice_.lsm.run_handles(task):
+                        patch = yield from self.storage.read_patch(handle)
+                        self.compaction_read_meter.record(
+                            self.sim.now, patch.nbytes
+                        )
+                        patches.append(patch)
+                    merged = slice_.lsm.merge_for_task(task, patches)
+                    parts = split_patch(
+                        merged, self.storage.patch_capacity_bytes
                     )
-                    patches.append(patch)
-                merged = slice_.lsm.merge_for_task(task, patches)
-                parts = split_patch(
-                    merged, self.storage.patch_capacity_bytes
-                )
-                new_handles = []
-                for part in parts:
-                    handle = yield from self.storage.store_patch(part)
-                    self.compaction_write_meter.record(
-                        self.sim.now, part.nbytes
+                    new_handles = []
+                    for part in parts:
+                        handle = yield from self.storage.store_patch(part)
+                        self.compaction_write_meter.record(
+                            self.sim.now, part.nbytes
+                        )
+                        new_handles.append(handle)
+                    freed = slice_.lsm.apply_compaction(
+                        task, parts, new_handles
                     )
-                    new_handles.append(handle)
-                freed = slice_.lsm.apply_compaction(task, parts, new_handles)
-                for handle in freed:
-                    yield from self.storage.free_patch(handle)
+                    for handle in freed:
+                        yield from self.storage.free_patch(handle)
+                except TransientFault:
+                    # e.g. an uncorrectable page read under the merge.
+                    # The LSM has not been touched (apply_compaction is
+                    # the only mutation), so abandon this attempt and
+                    # stand down until the next flush pokes us.
+                    self.compaction_aborts.add()
+                    break
 
     # -- preloading -------------------------------------------------------------------
     def preload(self, slice_: Slice, keys, value_bytes: int, compact: bool = True):

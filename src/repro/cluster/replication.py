@@ -3,32 +3,60 @@
 SDF drops on-device parity because "data reliability is provided by
 data replication across multiple racks": CCDB replicates each slice
 over several server nodes.  :class:`ReplicatedKV` writes every value to
-all replicas and, when a read hits an uncorrectable error (the rare
-BCH-failure event the paper reports), recovers from the next replica.
+all live replicas and reads with replica failover; the robustness
+behaviours the paper assumes host software provides live here:
+
+* **failover ordering** -- reads try healthy, in-sync replicas first
+  and never touch a replica known to be missing the key (no stale
+  reads);
+* **degraded mode** -- with a replica down, writes are acknowledged
+  once every *live* replica has them, and the missed keys are kept in a
+  per-replica ledger;
+* **timeouts + backoff** -- with a :class:`~repro.faults.retry.RetryPolicy`,
+  each replica attempt is bounded in time and exhausted rounds back off
+  exponentially with jitter before retrying;
+* **resync** -- :meth:`heal` replays a restarted replica's missed keys
+  from its peers.
+
+Fault injection goes through :mod:`repro.faults` (site ``replication``
+for the read-path BCH-failure stand-in).  The historical
+``read_failure_rate`` kwarg is deprecated and now merely builds that
+rule internally.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import warnings
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.cluster.node import StorageServer
-from repro.sim import AllOf, Simulator
+from repro.faults.errors import TransientFault
+from repro.faults.injector import NULL_INJECTOR, READ_UNCORRECTABLE
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, defuse_on_failure, race_with_timeout
+from repro.sim import Simulator
 from repro.sim.stats import Counter
 
 
 class ReplicaReadError(Exception):
-    """An uncorrectable device error surfaced to the software layer."""
+    """Every replica failed a read: real data loss (or total outage)."""
+
+
+class ReplicaWriteError(Exception):
+    """No live replica could accept a write; nothing was acknowledged."""
 
 
 class ReplicatedKV:
     """A key's value stored on every one of ``servers``.
 
-    ``read_failure_rate`` injects uncorrectable-read events (standing in
-    for the wear-driven BCH failures of
-    :class:`repro.ecc.model.EccModel`) so recovery paths can be
-    exercised deterministically in simulation.
+    ``faults`` is a :class:`~repro.faults.injector.FaultInjector` for the
+    ``replication`` site; its ``read_uncorrectable`` rules stand in for
+    the wear-driven BCH failures of :class:`repro.ecc.model.EccModel`.
+    ``retry`` enables per-attempt timeouts with exponential backoff;
+    without it reads make a single failover pass (the original
+    behaviour).
     """
 
     def __init__(
@@ -37,6 +65,8 @@ class ReplicatedKV:
         servers: List[StorageServer],
         read_failure_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if not servers:
             raise ValueError("need at least one replica server")
@@ -44,49 +74,220 @@ class ReplicatedKV:
             raise ValueError("read_failure_rate outside [0, 1)")
         if read_failure_rate > 0.0 and rng is None:
             raise ValueError("failure injection needs an rng")
+        if read_failure_rate > 0.0 and faults is not None:
+            raise ValueError(
+                "pass either a fault injector or the deprecated "
+                "read_failure_rate, not both"
+            )
+        if read_failure_rate > 0.0:
+            warnings.warn(
+                "read_failure_rate is deprecated; build a FaultPlan and "
+                "pass faults=plan.injector('replication') instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # Route the legacy knob through the fault plane.  The rule
+            # reuses the caller's rng so historical draw sequences (and
+            # the tests pinned to them) are preserved bit-for-bit.
+            shim = FaultPlan(seed=0)
+            shim.add(
+                "replication", READ_UNCORRECTABLE, rate=read_failure_rate,
+                rng=rng,
+            )
+            faults = shim.injector("replication")
         self.sim = sim
         self.servers = servers
         self.read_failure_rate = read_failure_rate
         self.rng = rng
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        self.retry = retry
+        #: keys each replica missed while down, in arrival order.
+        self._behind: List[Dict[object, bool]] = [{} for _ in servers]
+        #: per-key write sequence, bumped synchronously when a put is
+        #: issued; :meth:`heal` uses it to detect writes racing with a
+        #: resync copy (which could otherwise resurrect a stale value).
+        self._write_seq: Dict[object, int] = {}
         self.recoveries = Counter("replication.recoveries")
         self.data_loss_events = Counter("replication.data_loss")
+        self.degraded_writes = Counter("replication.degraded_writes")
+        self.degraded_reads = Counter("replication.degraded_reads")
+        self.timeouts = Counter("replication.timeouts")
+        self.resynced_keys = Counter("replication.resynced_keys")
 
     @property
     def replication_factor(self) -> int:
         """Number of replicas."""
         return len(self.servers)
 
-    def put(self, key, value):
-        """Generator: write to every replica in parallel."""
-        writers = [
-            self.sim.process(server.handle_put(key, value))
-            for server in self.servers
-        ]
-        yield AllOf(self.sim, writers)
+    def behind_count(self, index: Optional[int] = None) -> int:
+        """Keys a replica (or all replicas) still owes."""
+        if index is not None:
+            return len(self._behind[index])
+        return sum(len(b) for b in self._behind)
 
-    def get(self, key):
-        """Generator -> value; fails over across replicas on errors."""
-        last_error = None
-        for attempt, server in enumerate(self.servers):
+    # -- writes ---------------------------------------------------------------------
+    def put(self, key, value):
+        """Generator: write to every live replica in parallel.
+
+        Acknowledged once every replica that was up at issue time has
+        the value; down replicas get the key recorded in their missed
+        ledger for :meth:`heal`.  Raises :class:`ReplicaWriteError` when
+        no replica accepts the write (nothing acknowledged).
+        """
+        self._write_seq[key] = self._write_seq.get(key, 0) + 1
+        writers = []
+        for index, server in enumerate(self.servers):
+            if not server.up:
+                self._behind[index][key] = True
+                continue
+            # Defused up front: a replica crashing under writer N+1 while
+            # we still await writer N must reach us at our yield, not
+            # crash the kernel's unobserved-failure check.
+            writers.append(
+                (
+                    index,
+                    defuse_on_failure(
+                        self.sim.process(server.handle_put(key, value))
+                    ),
+                )
+            )
+        acked = 0
+        last_error: Optional[BaseException] = None
+        for index, proc in writers:
             try:
-                value = yield from server.handle_get(key)
-            except KeyError as exc:  # replica lost the key somehow
+                yield proc
+            except TransientFault as exc:  # crashed while the put ran
+                self._behind[index][key] = True
                 last_error = exc
                 continue
-            if self._injected_failure():
-                last_error = ReplicaReadError(
-                    f"uncorrectable read of {key!r} on replica {attempt}"
+            acked += 1
+            # The replica now holds the newest value, even if it was
+            # behind on this key before (e.g. written mid-resync).
+            self._behind[index].pop(key, None)
+        if acked == 0:
+            raise ReplicaWriteError(
+                f"no live replica accepted the write of {key!r}"
+            ) from last_error
+        if acked < self.replication_factor:
+            self.degraded_writes.add()
+
+    # -- reads ----------------------------------------------------------------------
+    def _failover_order(self, key) -> List[int]:
+        """Replica indexes to try, best candidates first.
+
+        Down replicas are excluded (their requests would only burn a
+        timeout) and so are replicas known to be missing this key --
+        reading one could return a stale miss.  With every replica
+        healthy this is simply ``0..n-1``, preserving the historical
+        read order.
+        """
+        return [
+            index
+            for index, server in enumerate(self.servers)
+            if server.up and key not in self._behind[index]
+        ]
+
+    def get(self, key):
+        """Generator -> value; fails over across replicas on errors.
+
+        With a :class:`~repro.faults.retry.RetryPolicy` each attempt is
+        bounded by ``timeout_ns`` and exhausted passes back off before
+        retrying (replicas may come back); without one a single failover
+        pass is made.  Raises :class:`ReplicaReadError` when every
+        attempt fails.
+        """
+        policy = self.retry
+        max_rounds = policy.max_attempts if policy is not None else 1
+        last_error: Optional[BaseException] = None
+        for round_no in range(max_rounds):
+            if round_no > 0:
+                yield self.sim.timeout(
+                    policy.backoff_ns(round_no - 1, self.rng)
                 )
-                self.recoveries.add()
-                continue
-            return value
+            candidates = self._failover_order(key)
+            if candidates and len(candidates) < self.replication_factor:
+                self.degraded_reads.add()
+            for order, index in enumerate(candidates):
+                server = self.servers[index]
+                try:
+                    if policy is None:
+                        value = yield from server.handle_get(key)
+                    else:
+                        proc = self.sim.process(server.handle_get(key))
+                        done, value = yield from race_with_timeout(
+                            self.sim, proc, policy.timeout_ns
+                        )
+                        if not done:
+                            self.timeouts.add()
+                            last_error = TimeoutError(
+                                f"replica {index} exceeded "
+                                f"{policy.timeout_ns} ns for {key!r}"
+                            )
+                            continue
+                except KeyError as exc:  # replica lost the key somehow
+                    last_error = exc
+                    continue
+                except TransientFault as exc:  # died mid-request
+                    last_error = exc
+                    continue
+                if (
+                    self.faults.fires(
+                        READ_UNCORRECTABLE, replica=index, key=key
+                    )
+                    is not None
+                ):
+                    last_error = ReplicaReadError(
+                        f"uncorrectable read of {key!r} on replica {index}"
+                    )
+                    self.recoveries.add()
+                    continue
+                if order > 0 or round_no > 0:
+                    self.faults.note(
+                        "replica_failover", key=key, served_by=index
+                    )
+                return value
         self.data_loss_events.add()
         raise ReplicaReadError(
             f"all {self.replication_factor} replicas failed for {key!r}"
         ) from last_error
 
-    def _injected_failure(self) -> bool:
-        return (
-            self.read_failure_rate > 0.0
-            and self.rng.random() < self.read_failure_rate
-        )
+    # -- recovery --------------------------------------------------------------------
+    def heal(self, index: int):
+        """Generator: resync a restarted replica from its peers.
+
+        Replays every key the replica missed while down by reading the
+        current value from the healthy replicas and writing it back.  A
+        key that reads as a miss is replayed as a delete.  Intended as
+        the ``on_restore`` hook of a
+        :class:`~repro.faults.runner.FaultRunner`.
+
+        Resync copies race with live writes: a put issued between our
+        read and our write-back would be overwritten with the older
+        value.  Each read therefore snapshots ``_write_seq[key]`` and is
+        retried if the sequence moved before the write-back is issued;
+        once issued, the per-slice FIFO guarantees any later put lands
+        after it.  Puts that reach the replica directly clear the ledger
+        entry themselves, so such keys are simply skipped here.
+        """
+        server = self.servers[index]
+        if not server.up:
+            raise RuntimeError(f"replica {index} is still down; restart first")
+        resynced = 0
+        for key in list(self._behind[index]):
+            if key not in self._behind[index]:
+                continue  # a live put already brought this key in sync
+            while True:
+                seq = self._write_seq.get(key, 0)
+                value = yield from self.get(key)
+                if self._write_seq.get(key, 0) != seq:
+                    continue  # raced with a writer; re-read
+                if value is None:
+                    yield from server.handle_delete(key)
+                else:
+                    yield from server.handle_put(key, value)
+                break
+            self._behind[index].pop(key, None)
+            self.resynced_keys.add()
+            resynced += 1
+        if resynced:
+            self.faults.note("replica_resync", replica=index, keys=resynced)

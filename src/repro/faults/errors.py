@@ -1,0 +1,24 @@
+"""Transient-fault exception taxonomy.
+
+Every injected (or naturally occurring) failure that host software is
+expected to *recover from* derives from :class:`TransientFault`:
+uncorrectable device reads, dropped network messages, requests to a
+crashed node.  Retry/failover code catches this one base class instead
+of enumerating layer-specific exception types, and anything that is
+**not** a ``TransientFault`` (programming-model violations, out of
+space, routing bugs) still propagates loudly.
+
+This module sits at the bottom of the dependency graph on purpose: the
+NAND, link, network and cluster layers all import it, so it must import
+nothing from them.
+"""
+
+from __future__ import annotations
+
+
+class TransientFault(Exception):
+    """A failure that retry, failover or replica recovery can absorb."""
+
+
+class FaultInjectionError(ValueError):
+    """Invalid fault-plan configuration (bad rule, unknown site, ...)."""

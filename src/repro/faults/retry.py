@@ -1,0 +1,110 @@
+"""Timeout, retry and exponential-backoff policy for cluster requests.
+
+The paper moves failure recovery out of the device and into host
+software; this module is the host-software half of that bargain for the
+request path: a :class:`RetryPolicy` describing per-attempt timeouts and
+exponential backoff with jitter, and :func:`race_with_timeout`, the one
+safe way to bound a simulated request in time.
+
+``race_with_timeout`` deliberately **abandons** (rather than interrupts)
+a request that overruns its deadline.  Interrupting a process that is
+queued on a resource it acquired outside a ``with`` block would leak the
+slot; abandonment lets the straggler finish harmlessly in the background
+while the caller moves on to the next replica -- the same semantics as a
+networked client giving up on a slow server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.events import AnyOf
+
+MS = 1_000_000  # ns per millisecond
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client bounds and retries one logical request.
+
+    Attempt ``k`` (0-based) sleeps ``backoff_ns(k)`` before retrying:
+    ``min(backoff_max_ns, backoff_base_ns * backoff_factor**k)``, spread
+    by ``jitter`` (a +/- fraction) when an RNG is supplied so retrying
+    clients don't stampede in lockstep.
+    """
+
+    timeout_ns: int = 50 * MS
+    max_attempts: int = 4
+    backoff_base_ns: int = 1 * MS
+    backoff_factor: float = 2.0
+    backoff_max_ns: int = 64 * MS
+    jitter: float = 0.2
+
+    def __post_init__(self):
+        if self.timeout_ns <= 0:
+            raise ValueError(f"timeout_ns must be > 0, got {self.timeout_ns}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_ns(self, attempt: int, rng=None) -> int:
+        """Backoff before retry number ``attempt`` (0-based), in ns."""
+        base = min(
+            self.backoff_max_ns,
+            self.backoff_base_ns * self.backoff_factor**attempt,
+        )
+        if rng is not None and self.jitter > 0.0:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0, int(base))
+
+
+def defuse_on_failure(event):
+    """Keep a failure of ``event`` from crashing the kernel when nobody
+    is waiting on it *yet*.
+
+    The kernel treats an unobserved failure as a programming error and
+    re-raises it out of the event loop.  A caller that spawns several
+    processes and then waits on them one at a time (or may stop waiting
+    early) attaches this first; waiters that do ``yield event`` later
+    still receive the exception as usual.  Returns ``event``.
+    """
+
+    def _defuse(evt):
+        if not evt.ok:
+            evt.defused = True
+
+    event.add_callback(_defuse)
+    return event
+
+
+def race_with_timeout(sim, proc, timeout_ns: int):
+    """Wait on ``proc`` for at most ``timeout_ns`` simulated ns.
+
+    A generator to ``yield from`` inside a process.  Returns
+    ``(completed, value)``: ``(True, value)`` if the process finished in
+    time, ``(False, None)`` if the deadline passed first (the process is
+    defused and left to finish in the background).  A process *failure*
+    inside the window re-raises in the caller, exactly as a bare
+    ``yield proc`` would.
+    """
+    if proc.triggered:
+        # Already finished: observe the result without scheduling a timer.
+        if not proc.ok:
+            proc.defused = True
+            raise proc.value
+        return True, proc.value
+
+    # A failure that lands after we stopped waiting (timer won the race,
+    # or won a same-instant tie) must not crash the kernel's
+    # unobserved-failure check.  When the AnyOf is still pending it
+    # fails too and the error reaches the caller as usual.
+    defuse_on_failure(proc)
+    timer = sim.timeout(timeout_ns)
+    yield AnyOf(sim, [proc, timer])
+    if proc.triggered:
+        if not proc.ok:
+            raise proc.value
+        return True, proc.value
+    proc.defused = True  # abandon: let the straggler finish unobserved
+    return False, None

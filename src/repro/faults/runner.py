@@ -1,0 +1,80 @@
+"""Drives a plan's *scheduled* faults against live components.
+
+Probabilistic rules are pulled by the layers themselves; scheduled
+faults (node crashes with a recovery time) need something to push them.
+:class:`FaultRunner` binds each scheduled site to a target object and
+spawns one driver process per fault: sleep until ``at_ns``, apply the
+fault, sleep ``duration_ns``, run the target's recovery.
+
+Currently the only scheduled kind is ``crash``; the target must expose
+``crash()`` (synchronous) and ``restart()`` (a generator to run as part
+of the driver process).  An optional ``on_restore`` callback -- also a
+generator -- runs after restart, which is where replica resynchronisation
+(:meth:`repro.cluster.replication.ReplicatedKV.heal`) hooks in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.faults.errors import FaultInjectionError
+from repro.faults.injector import CRASH, ScheduledFault
+
+
+class FaultRunner:
+    """Executes a :class:`~repro.faults.plan.FaultPlan`'s schedule."""
+
+    def __init__(self, sim, plan):
+        self.sim = sim
+        self.plan = plan
+        self._targets: Dict[str, Tuple[object, Optional[Callable]]] = {}
+        self._started = False
+        plan.bind_clock(sim)
+
+    def bind(self, site: str, target, on_restore: Optional[Callable] = None) -> None:
+        """Attach the live object that scheduled faults at ``site`` hit."""
+        self._targets[site] = (target, on_restore)
+
+    def start(self) -> None:
+        """Spawn one driver process per scheduled fault.
+
+        Call after binding every scheduled site and before (or during)
+        ``sim.run()``.  Unbound scheduled sites are an error: a typo'd
+        site name silently injecting nothing would defeat the test tier.
+        """
+        if self._started:
+            raise FaultInjectionError("FaultRunner.start() called twice")
+        self._started = True
+        for site in self.plan.sites():
+            faults = self.plan.scheduled_for(site)
+            if not faults:
+                continue
+            if site not in self._targets:
+                raise FaultInjectionError(
+                    f"scheduled fault at unbound site {site!r}; "
+                    f"bound sites: {sorted(self._targets)}"
+                )
+            target, on_restore = self._targets[site]
+            for fault in faults:
+                self.sim.process(self._drive(site, target, on_restore, fault))
+
+    def _drive(self, site, target, on_restore, fault: ScheduledFault):
+        injector = self.plan.injector(site)
+        delay = fault.at_ns - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        if fault.kind == CRASH:
+            target.crash()
+            injector.inject(CRASH, **dict(fault.args))
+            if fault.duration_ns is None:
+                return  # never recovers
+            if fault.duration_ns > 0:
+                yield self.sim.timeout(fault.duration_ns)
+            yield from target.restart()
+            injector.note("restart", **dict(fault.args))
+            if on_restore is not None:
+                yield from on_restore()
+        else:
+            raise FaultInjectionError(
+                f"don't know how to drive scheduled fault kind {fault.kind!r}"
+            )

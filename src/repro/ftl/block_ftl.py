@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.badblocks import BadBlockManager
 from repro.ftl.mapping import BlockMapping
 from repro.ftl.ops import FlashOp, erase_op, program_op, read_op
 from repro.ftl.wear import FreeBlockPool
 from repro.nand.array import FlashArray, PhysicalAddress
+from repro.nand.chip import ProgramFailError
 from repro.ftl.page_ftl import OutOfSpaceError
 
 
@@ -77,6 +79,10 @@ class ChannelBlockFTL:
         self.host_reads = 0
         self.host_programs = 0
         self.erase_count = 0
+        self.program_remaps = 0
+        #: Fault handle used only to *log* recovery actions (remaps);
+        #: injection itself happens in the chips underneath.
+        self.faults = NULL_INJECTOR
 
     # -- geometry helpers ----------------------------------------------------------
     def _chip_plane(self, plane_index: int) -> Tuple[int, int]:
@@ -117,8 +123,8 @@ class ChannelBlockFTL:
             raise EraseBeforeWriteError(
                 f"logical block {logical_block} must be erased before rewrite"
             )
-        physical = self._allocate_group()
-        self.mapping.map(logical_block, physical)
+        physical = list(self._allocate_group())
+        self.mapping.map(logical_block, tuple(physical))
         geo = self.array.geometry
         ops: List[FlashOp] = []
         # Program in plane-interleaved order (page 0 of every plane, then
@@ -129,9 +135,67 @@ class ChannelBlockFTL:
                 index = plane_index * geo.pages_per_block + page
                 payload = pages[index]
                 addr = self._address(plane_index, physical[plane_index], page)
-                self.array.program_page(addr, payload)
+                try:
+                    self.array.program_page(addr, payload)
+                except ProgramFailError:
+                    ops.extend(
+                        self._remap_program_failure(
+                            logical_block, physical, plane_index, page, pages
+                        )
+                    )
+                    # Retry the failed page on the replacement block; a
+                    # second verify failure on a fresh block is beyond the
+                    # recovery model and propagates.
+                    addr = self._address(plane_index, physical[plane_index], page)
+                    self.array.program_page(addr, payload)
                 self.host_programs += 1
                 ops.append(program_op(addr, geo.page_size))
+        return ops
+
+    def _remap_program_failure(
+        self,
+        logical_block: int,
+        physical: List[int],
+        plane_index: int,
+        failed_page: int,
+        pages: Sequence,
+    ) -> List[FlashOp]:
+        """Absorb a program-verify failure: retire the bad block, bring a
+        replacement into the stripe, and replay the plane's already
+        programmed pages from the in-flight host buffer (``pages``).
+
+        Mutates ``physical`` in place and refreshes the LA2PA entry.
+        Returns the extra (replayed) program ops so the caller can charge
+        their simulated time.
+        """
+        geo = self.array.geometry
+        bad = physical[plane_index]
+        self._bbm[plane_index].mark_grown_bad(bad)
+        self._pools[plane_index].retire(bad)
+        try:
+            replacement = self._pools[plane_index].allocate()
+        except IndexError:
+            raise OutOfSpaceError(
+                f"channel {self.channel} plane {plane_index} has no spare "
+                f"block to remap failed block {bad}"
+            )
+        physical[plane_index] = replacement
+        self.mapping.unmap(logical_block)
+        self.mapping.map(logical_block, tuple(physical))
+        self.program_remaps += 1
+        ops: List[FlashOp] = []
+        for page in range(failed_page):
+            index = plane_index * geo.pages_per_block + page
+            addr = self._address(plane_index, replacement, page)
+            self.array.program_page(addr, pages[index])
+            ops.append(program_op(addr, geo.page_size))
+        self.faults.note(
+            "program_remap",
+            plane=plane_index,
+            bad_block=bad,
+            replacement=replacement,
+            replayed_pages=failed_page,
+        )
         return ops
 
     def read(
@@ -225,6 +289,9 @@ class ChannelBlockFTL:
         )
         registry.register_callback(
             f"{prefix}.grown_bad_blocks", lambda _now: self.grown_bad_blocks()
+        )
+        registry.register_callback(
+            f"{prefix}.program_remaps", lambda _now: self.program_remaps
         )
         registry.register_callback(
             f"wear.ch{self.channel}.spread", lambda _now: self.wear_spread()

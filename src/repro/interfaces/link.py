@@ -12,9 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.errors import TransientFault
+from repro.faults.injector import DELAY, DROP, NULL_INJECTOR
 from repro.sim import Resource, Simulator
 from repro.sim.stats import ThroughputMeter
 from repro.sim.units import KIB, transfer_ns
+
+
+class LinkDropError(TransientFault):
+    """A host-link transfer was lost (aborted DMA, link reset)."""
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,9 @@ class HostLink:
         )
         self.read_meter = ThroughputMeter(f"{spec.name}.read")
         self.write_meter = ThroughputMeter(f"{spec.name}.write")
+        #: Fault-injection handle (``drop``/``delay``);
+        #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
+        self.faults = NULL_INJECTOR
 
     def _lane_and_rate(self, direction: str):
         if direction == "read":
@@ -76,6 +85,13 @@ class HostLink:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
+        if self.faults.fires(DROP, direction=direction, nbytes=nbytes) is not None:
+            raise LinkDropError(
+                f"{self.spec.name}: {direction} transfer of {nbytes} B dropped"
+            )
+        extra_ns = self.faults.delay_ns(DELAY, direction=direction, nbytes=nbytes)
+        if extra_ns > 0:
+            yield self.sim.timeout(extra_ns)
         lane, rate, meter = self._lane_and_rate(direction)
         remaining = nbytes
         first = True

@@ -30,7 +30,7 @@ from repro.kv.compaction import (
 )
 from repro.kv.memtable import MemTable
 from repro.kv.patch import Patch
-from repro.kv.wal import WriteAheadLog
+from repro.kv.wal import PUT, WriteAheadLog
 from repro.sim.units import MIB
 
 
@@ -77,13 +77,28 @@ class LSMTree:
         memtable_bytes: int = 8 * MIB,
         policy: Optional[TieredCompactionPolicy] = None,
         enable_wal: bool = True,
+        durable_wal: bool = False,
     ):
+        if durable_wal and not enable_wal:
+            raise ValueError("durable_wal requires enable_wal")
         self.policy = policy if policy is not None else TieredCompactionPolicy()
         self.memtable = MemTable(memtable_bytes)
         self.wal: Optional[WriteAheadLog] = (
             WriteAheadLog() if enable_wal else None
         )
+        #: Durable-truncation mode: the WAL keeps records for frozen
+        #: patches until :meth:`register_patch` confirms them on storage,
+        #: so a crash between freeze and store loses nothing (needed by
+        #: the crash/recovery path; off by default to preserve the
+        #: original truncate-at-freeze behaviour).
+        self.durable_wal = durable_wal
+        self._frozen_order: List[int] = []  # tokens awaiting durability
+        self._durable_tokens: set = set()
         self._pending: List[FrozenPatch] = []  # frozen, awaiting storage
+        #: token -> storage handle for patches whose store completed
+        #: before an earlier freeze's store did (awaiting in-order
+        #: registration).
+        self._staged_handles: Dict[int, object] = {}
         self._runs: Dict[int, Run] = {}
         self._levels: List[List[int]] = [[] for _ in range(self.policy.max_levels)]
         self._key_map: Dict[object, int] = {}
@@ -130,22 +145,77 @@ class LSMTree:
         self._pending.append(frozen)
         self.memtable.clear()
         if self.wal is not None:
-            self.wal.truncate()
+            if self.durable_wal:
+                self.wal.mark(frozen.token)
+                self._frozen_order.append(frozen.token)
+            else:
+                self.wal.truncate()
         self.flushes += 1
         self.bytes_flushed += patch.nbytes
         return frozen
 
-    def register_patch(self, frozen: FrozenPatch, handle) -> Run:
-        """Record that a frozen patch now lives on storage at ``handle``."""
+    def register_patch(self, frozen: FrozenPatch, handle) -> Optional[Run]:
+        """Record that a frozen patch now lives on storage at ``handle``.
+
+        Registration is applied in **freeze order**.  Concurrent flushes
+        can complete out of order (one stalled by a device fault or a
+        busy channel), but registering a later patch while an earlier
+        one is still pending would let the older pending copy shadow the
+        newer registered run on reads -- ``get`` checks pending patches
+        first.  An early arrival is therefore staged and installed once
+        its predecessors land.  Returns the :class:`Run` when this
+        patch was installed by this call, ``None`` when it was staged.
+        """
         if frozen not in self._pending:
             raise ValueError("patch is not pending (already registered?)")
-        self._pending.remove(frozen)
+        self._staged_handles[frozen.token] = handle
+        installed = None
+        # _pending is append-ordered by freeze, so its head gates
+        # everything frozen after it.
+        while self._pending and self._pending[0].token in self._staged_handles:
+            head = self._pending.pop(0)
+            run = self._install_run(head, self._staged_handles.pop(head.token))
+            if head is frozen:
+                installed = run
+        return installed
+
+    def _install_run(self, frozen: FrozenPatch, handle) -> Run:
         run = self._make_run(
             level=0, handle=handle, token=frozen.token, patch=frozen.patch
         )
-        self._levels[0].insert(0, run.run_id)  # newest first
+        self._insert_newest_first(0, run)
         self._index_run(run, frozen.patch)
+        if self.durable_wal and self.wal is not None:
+            # Truncate in freeze order only: a later patch landing first
+            # must not drop WAL records protecting an earlier one still
+            # in flight.
+            self._durable_tokens.add(frozen.token)
+            while (
+                self._frozen_order
+                and self._frozen_order[0] in self._durable_tokens
+            ):
+                token = self._frozen_order.pop(0)
+                self._durable_tokens.discard(token)
+                self.wal.truncate_through(token)
         return run
+
+    def _insert_newest_first(self, level: int, run: Run) -> None:
+        """Insert keeping the level sorted by descending freeze token.
+
+        Concurrent flushes can complete out of order (one stalled by a
+        device fault or a slow channel), so registration order is not
+        write order.  Compaction resolves duplicate keys by level-list
+        position, so the list must be ordered by freeze token, not by
+        arrival.
+        """
+        runs = self._levels[level]
+        pos = 0
+        while (
+            pos < len(runs)
+            and self._runs[runs[pos]].freeze_token > run.freeze_token
+        ):
+            pos += 1
+        runs.insert(pos, run.run_id)
 
     def _make_run(self, level: int, handle, token: int, patch: Patch) -> Run:
         index = {}
@@ -176,6 +246,47 @@ class LSMTree:
                 if self._runs[current].freeze_token > run.freeze_token:
                     continue
             self._key_map[key] = run.run_id
+
+    # -- crash / recovery --------------------------------------------------------
+    def lose_volatile(self) -> int:
+        """Simulate power loss: drop everything DRAM-resident that the
+        WAL protects -- the memtable and any frozen-but-unstored patches.
+
+        Registered runs survive (they are on storage) and so does their
+        DRAM index (rebuildable from on-storage patch headers; we model
+        that rebuild as free).  Returns the number of lost pending
+        patches.  With ``durable_wal`` their records are still in the
+        WAL, so :meth:`recover` loses nothing.
+        """
+        lost = len(self._pending)
+        self.memtable.clear()
+        self._pending.clear()
+        self._staged_handles.clear()
+        self._frozen_order.clear()
+        self._durable_tokens.clear()
+        return lost
+
+    def recover(self):
+        """Replay the WAL after :meth:`lose_volatile`.
+
+        Re-applies every surviving record through :meth:`put`, which may
+        re-freeze full containers; the caller must store and
+        ``register_patch`` each returned patch, exactly as for live
+        writes.  Returns ``(n_records, refrozen_patches)``.
+        """
+        if self.wal is None:
+            return 0, []
+        records = self.wal.records()
+        self.wal.reset()
+        refrozen = []
+        for kind, key, value in records:
+            if kind == PUT:
+                frozen = self.put(key, value)
+            else:
+                frozen = self.put(key, TOMBSTONE)
+            if frozen is not None:
+                refrozen.append(frozen)
+        return len(records), refrozen
 
     # -- reads -------------------------------------------------------------------
     def get(self, key):
@@ -294,7 +405,7 @@ class LSMTree:
                 level=output_level, handle=handle, token=newest_token,
                 patch=part,
             )
-            self._levels[output_level].insert(0, new_run.run_id)
+            self._insert_newest_first(output_level, new_run)
             new_run_ids.append(new_run.run_id)
             for key in part.keys():
                 new_run_of_key[key] = new_run.run_id

@@ -17,12 +17,25 @@ DELETE = "delete"
 
 
 class WriteAheadLog:
-    """An append-only mutation log with truncation at flush points."""
+    """An append-only mutation log with truncation at flush points.
+
+    Two truncation disciplines are supported:
+
+    * :meth:`truncate` drops everything -- correct when the records'
+      container was *persisted* before truncating (the default LSM mode,
+      which truncates at freeze time and accepts a small window where a
+      crash loses the frozen-but-unstored patch);
+    * :meth:`mark` / :meth:`truncate_through` implement durable
+      truncation: mark the log position at freeze time, truncate only
+      the prefix once the patch is actually on storage.  Records for
+      patches still in flight survive a crash and are replayed.
+    """
 
     def __init__(self):
         self._records: List[Tuple[str, object, object]] = []
         self.appended_bytes = 0
         self.truncations = 0
+        self._marks: dict = {}  # token -> record position
 
     def __len__(self) -> int:
         return len(self._records)
@@ -40,7 +53,38 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Drop all records (the container they protect was persisted)."""
         self._records.clear()
+        self._marks.clear()
         self.truncations += 1
+
+    def mark(self, token) -> None:
+        """Remember the current log position under ``token``."""
+        self._marks[token] = len(self._records)
+
+    def truncate_through(self, token) -> int:
+        """Drop records up to ``token``'s mark (they are now durable).
+
+        Returns how many records were dropped.  Later marks shift down;
+        marks at or before the cut are discarded.
+        """
+        position = self._marks.pop(token, None)
+        if position is None:
+            raise KeyError(f"no WAL mark for token {token!r}")
+        cut = min(position, len(self._records))
+        del self._records[:cut]
+        for other in list(self._marks):
+            self._marks[other] = max(0, self._marks[other] - cut)
+        self.truncations += 1
+        return cut
+
+    def records(self) -> List[Tuple[str, object, object]]:
+        """A snapshot of the surviving records (oldest first)."""
+        return list(self._records)
+
+    def reset(self) -> None:
+        """Forget everything, marks included, without counting a
+        truncation (used when rebuilding state after crash replay)."""
+        self._records.clear()
+        self._marks.clear()
 
     def replay(self, memtable) -> int:
         """Re-apply every record into ``memtable``; returns the count."""

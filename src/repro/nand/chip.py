@@ -26,6 +26,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.faults.errors import TransientFault
+from repro.faults.injector import (
+    ERASE_FAIL,
+    NULL_INJECTOR,
+    PROGRAM_FAIL,
+    READ_UNCORRECTABLE,
+)
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
 
@@ -40,6 +47,24 @@ class ProgramError(FlashError):
 
 class WearOutError(FlashError):
     """Operation on a worn-out (bad) block."""
+
+
+class ProgramFailError(FlashError):
+    """A program op failed to verify: the block must be retired.
+
+    The FTL absorbs this (bad-block remap + reprogram); it is not a
+    :class:`~repro.faults.errors.TransientFault` because it must never
+    escape the device stack to retry/failover code.
+    """
+
+
+class UncorrectableReadError(TransientFault, FlashError):
+    """A page read with more bit errors than the per-chip BCH corrects.
+
+    SDF has no on-device parity across chips, so this propagates to the
+    host, whose replication layer recovers from another replica (paper
+    §2.2).
+    """
 
 
 class PageState(Enum):
@@ -209,6 +234,9 @@ class FlashChip:
         self.reads = 0
         self.programs = 0
         self.erases = 0
+        #: Fault-injection handle; :data:`~repro.faults.injector.NULL_INJECTOR`
+        #: unless a :class:`~repro.faults.plan.FaultPlan` is wired in.
+        self.faults = NULL_INJECTOR
         if factory_bad_rate > 0.0:
             self._seed_factory_bad_blocks(factory_bad_rate)
 
@@ -241,22 +269,78 @@ class FlashChip:
 
     # -- operations ------------------------------------------------------------
     def read_page(self, plane_index: int, block_index: int, page_index: int):
-        """Return the payload of a page (``None`` if erased)."""
+        """Return the payload of a page (``None`` if erased).
+
+        Raises :class:`UncorrectableReadError` when the fault plane
+        injects a beyond-BCH read failure.
+        """
         self.reads += 1
-        return self.block(plane_index, block_index).read(page_index)
+        data = self.block(plane_index, block_index).read(page_index)
+        if (
+            self.faults.fires(
+                READ_UNCORRECTABLE,
+                chip=self.chip_id,
+                plane=plane_index,
+                block=block_index,
+                page=page_index,
+            )
+            is not None
+        ):
+            raise UncorrectableReadError(
+                f"chip {self.chip_id}: uncorrectable read at "
+                f"plane {plane_index} block {block_index} page {page_index}"
+            )
+        return data
 
     def program_page(
         self, plane_index: int, block_index: int, page_index: int, data
     ) -> None:
-        """Program one page (must be the block's next sequential page)."""
+        """Program one page (must be the block's next sequential page).
+
+        An injected program failure retires the block (real NAND retires
+        on failed verify) and raises :class:`ProgramFailError` for the
+        FTL to remap.
+        """
         self.programs += 1
-        self.block(plane_index, block_index).program(page_index, data)
+        block = self.block(plane_index, block_index)
+        if (
+            self.faults.fires(
+                PROGRAM_FAIL,
+                chip=self.chip_id,
+                plane=plane_index,
+                block=block_index,
+                page=page_index,
+            )
+            is not None
+        ):
+            block.mark_bad()
+            raise ProgramFailError(
+                f"chip {self.chip_id}: program verify failed at "
+                f"plane {plane_index} block {block_index} page {page_index}"
+            )
+        block.program(page_index, data)
 
     def erase_block(self, plane_index: int, block_index: int) -> None:
-        """Erase a block; may mark it bad once past rated endurance."""
+        """Erase a block; may mark it bad once past rated endurance.
+
+        An injected erase failure marks the block bad the same way the
+        endurance model does; the FTL's erase path sees ``is_bad`` and
+        retires it.
+        """
         self.erases += 1
         block = self.block(plane_index, block_index)
         block.erase()
+        if (
+            self.faults.fires(
+                ERASE_FAIL,
+                chip=self.chip_id,
+                plane=plane_index,
+                block=block_index,
+            )
+            is not None
+        ):
+            block.mark_bad()
+            return
         if self.endurance is not None and block.erase_count > self.endurance:
             # Past rated endurance each erase has an increasing chance of
             # failing to verify; the block is then retired as bad.

@@ -1,0 +1,79 @@
+"""No-drift regression: attaching an *empty* FaultPlan must leave a run
+byte-identical to one with no plan at all -- same simulated timeline,
+same metrics snapshot, same Chrome trace JSON.  This is the contract
+that lets the fault plane ride along in every build unconfigured.
+"""
+
+import json
+
+from repro.cluster import Network, Nic, build_sdf_server
+from repro.faults import (
+    FaultPlan,
+    FaultRunner,
+    attach_network_faults,
+    attach_server_faults,
+)
+from repro.kv.lsm import LSMTree
+from repro.kv.slice import KeyRange, Slice
+from repro.obs import Observability, attach_server, attach_system
+from repro.sim import MS, Simulator
+
+
+def run_workload(with_empty_plan: bool):
+    sim = Simulator()
+    obs = Observability(trace=True)
+    lsm = LSMTree(memtable_bytes=128 * 1024, durable_wal=True)
+    server = build_sdf_server(
+        sim,
+        [Slice(0, KeyRange(0, 1_000_000), lsm=lsm)],
+        capacity_scale=0.01,
+        n_channels=4,
+    )
+    network = Network(sim)
+    attach_system(obs, server.system)
+    attach_server(obs, server)
+    plan = None
+    if with_empty_plan:
+        plan = FaultPlan(seed=2024)
+        attach_server_faults(plan, server, site="node0")
+        attach_network_faults(plan, network)
+        plan.attach_obs(obs)
+        FaultRunner(sim, plan).start()  # empty schedule: spawns nothing
+    client = Nic(sim, name="client")
+    value = b"drift" * 1024  # 5 KB
+
+    def scenario():
+        for key in range(30):
+            yield from network.send(client, server.nic, 4096)
+            yield from server.handle_put(key, value)
+        for key in range(30):
+            got = yield from server.handle_get(key)
+            assert got == value
+            yield from network.send(server.nic, client, len(value))
+
+    sim.run(until=sim.process(scenario()))
+    sim.run(until=sim.now + 100 * MS)  # drain background flushes
+    trace_json = json.dumps(obs.trace.chrome_trace(), sort_keys=True)
+    snapshot = obs.snapshot(sim.now)
+    return sim.now, trace_json, snapshot, plan
+
+
+def test_empty_plan_run_is_byte_identical_to_no_plan_run():
+    bare_now, bare_trace, bare_snap, _ = run_workload(False)
+    plan_now, plan_trace, plan_snap, plan = run_workload(True)
+    assert plan.log == []  # the empty plan never fired anything
+    assert plan_now == bare_now
+    assert plan_snap == bare_snap
+    assert plan_trace == bare_trace  # byte-identical Chrome trace
+
+
+def test_empty_plan_makes_no_rng_draws():
+    # An empty plan has no rule states at all, so no generator is ever
+    # instantiated -- the determinism guarantee cannot be eroded by
+    # rule-table misses.
+    plan = FaultPlan(seed=5)
+    inj = plan.injector("anywhere")
+    for _ in range(100):
+        assert inj.fires("anything", key=1) is None
+        assert inj.delay_ns("anything") == 0
+    assert plan._states == {} and plan.log == []

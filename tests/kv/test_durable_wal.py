@@ -1,0 +1,173 @@
+"""Durable WAL truncation and crash-ordered LSM registration.
+
+The durable-truncation discipline (``mark`` at freeze,
+``truncate_through`` at register) and the in-freeze-order registration
+of flushed patches are what make the cluster's crash/recovery path
+lose nothing -- these unit tests pin the state-machine contracts the
+fault-injection suite relies on end to end.
+"""
+
+import pytest
+
+from repro.kv import LSMTree, MemoryPatchStore, MemTable, WriteAheadLog
+from repro.kv.compaction import TieredCompactionPolicy, split_patch
+
+
+def small_tree(**kwargs):
+    kwargs.setdefault("memtable_bytes", 16)
+    kwargs.setdefault("policy", TieredCompactionPolicy(fanout=2, max_levels=2))
+    kwargs.setdefault("durable_wal", True)
+    return LSMTree(**kwargs)
+
+
+# -- WriteAheadLog mark/truncate_through ---------------------------------------
+def test_wal_truncate_through_drops_only_the_marked_prefix():
+    wal = WriteAheadLog()
+    wal.append_put("a", b"1")
+    wal.mark("t0")
+    wal.append_put("b", b"2")
+    wal.append_put("c", b"3")
+    wal.mark("t1")
+    assert wal.truncate_through("t0") == 1
+    assert [key for _, key, _ in wal.records()] == ["b", "c"]
+    assert wal.truncate_through("t1") == 2
+    assert wal.records() == []
+
+
+def test_wal_truncate_through_unknown_token_raises():
+    wal = WriteAheadLog()
+    with pytest.raises(KeyError):
+        wal.truncate_through("nope")
+
+
+def test_wal_later_marks_shift_down_after_a_cut():
+    wal = WriteAheadLog()
+    wal.append_put("a", b"1")
+    wal.mark("t0")
+    wal.append_put("b", b"2")
+    wal.mark("t1")
+    wal.truncate_through("t0")
+    # t1's mark moved from position 2 to 1; cutting it drops just "b".
+    assert wal.truncate_through("t1") == 1
+    assert wal.records() == []
+
+
+def test_wal_reset_forgets_marks_without_counting_truncation():
+    wal = WriteAheadLog()
+    wal.append_put("a", b"1")
+    wal.mark("t0")
+    wal.reset()
+    assert len(wal) == 0 and wal.truncations == 0
+    with pytest.raises(KeyError):
+        wal.truncate_through("t0")
+
+
+# -- LSMTree durable mode ------------------------------------------------------
+def test_durable_wal_requires_wal():
+    with pytest.raises(ValueError):
+        LSMTree(enable_wal=False, durable_wal=True)
+
+
+def test_durable_wal_keeps_records_until_register():
+    tree = small_tree()
+    backend = MemoryPatchStore()
+    tree.put("a", b"12345678")
+    frozen = tree.put("b", b"12345678")  # freezes the "a" container
+    assert frozen is not None
+    # Freeze marked, did not truncate: "a"'s record still protects the
+    # in-flight patch.
+    assert [key for _, key, _ in tree.wal.records()] == ["a", "b"]
+    tree.register_patch(frozen, backend.store(frozen.patch))
+    assert [key for _, key, _ in tree.wal.records()] == ["b"]
+
+
+def test_lose_volatile_then_recover_replays_everything():
+    tree = small_tree(memtable_bytes=64)
+    backend = MemoryPatchStore()
+    tree.put("a", b"12345678")
+    tree.put("b", b"12345678")
+    frozen = tree.flush()
+    tree.put("c", b"1")  # memtable-only
+    assert tree.lose_volatile() == 1  # the unstored frozen patch died
+    assert tree.get("a") == ("miss", None)
+    n_records, refrozen = tree.recover()
+    assert n_records == 3  # a, b (frozen but never durable) and c
+    for patch in refrozen:
+        tree.register_patch(patch, backend.store(patch.patch))
+    assert tree.get("c") == ("value", b"1")
+    # a and b live again, frozen or registered depending on refreeze.
+    for key in ("a", "b"):
+        kind, _ = tree.get(key)
+        assert kind in ("value", "lookup")
+
+
+# -- in-freeze-order registration ----------------------------------------------
+def freeze_two_patches(tree):
+    tree.put("a", b"12345678")
+    first = tree.put("b", b"12345678")  # freezes {a}
+    second = tree.put("c", b"12345678")  # freezes {b}
+    assert first is not None and second is not None
+    return first, second
+
+
+def test_out_of_order_register_is_staged_until_predecessor_lands():
+    tree = small_tree()
+    backend = MemoryPatchStore()
+    first, second = freeze_two_patches(tree)
+    # The later freeze reaches storage first: it must not install ahead
+    # of its predecessor, or the older pending patch would shadow newer
+    # registered data on reads.
+    assert tree.register_patch(second, backend.store(second.patch)) is None
+    assert tree.n_runs == 0 and tree.n_pending == 2
+    assert tree.get("b") == ("value", b"12345678")  # still served pending
+    # Its WAL records also survive until it actually installs.
+    assert [key for _, key, _ in tree.wal.records()] == ["a", "b", "c"]
+    run = tree.register_patch(first, backend.store(first.patch))
+    assert run is not None and tree.n_runs == 2 and tree.n_pending == 0
+    assert [key for _, key, _ in tree.wal.records()] == ["c"]
+
+
+def test_out_of_order_register_keeps_newest_value_through_compaction():
+    # Regression: two freezes both containing "k"; the newer one's store
+    # completes first.  After both land, reads and a full compaction must
+    # keep the newer value -- historically the arrival-ordered level list
+    # let the merge resurrect the older one.
+    tree = small_tree(memtable_bytes=16)
+    backend = MemoryPatchStore()
+    tree.put("k", b"old-----")
+    first = tree.put("x", b"12345678")  # freezes {k: old}
+    second = tree.put("k", b"new-----")  # freezes {x}
+    third = tree.put("y", b"12345678")  # freezes {k: new}
+    assert None not in (first, second, third)
+    for frozen in (third, second, first):  # reverse arrival order
+        tree.register_patch(frozen, backend.store(frozen.patch))
+    assert tree.n_pending == 0
+
+    def lookup(key):
+        kind, payload = tree.get(key)
+        assert kind == "lookup"
+        found, value = backend.load(payload.handle).get(key)
+        assert found
+        return value
+
+    assert lookup("k") == b"new-----"
+    while True:
+        task = tree.pick_compaction()
+        if task is None:
+            break
+        patches = [backend.load(h) for h in tree.run_handles(task)]
+        merged = tree.merge_for_task(task, patches)
+        parts = split_patch(merged, 8 << 20)
+        handles = [backend.store(part) for part in parts]
+        for handle in tree.apply_compaction(task, parts, handles):
+            backend.free(handle)
+    assert lookup("k") == b"new-----"
+
+
+def test_double_register_rejected():
+    tree = small_tree()
+    backend = MemoryPatchStore()
+    first, second = freeze_two_patches(tree)
+    tree.register_patch(first, backend.store(first.patch))
+    with pytest.raises(ValueError):
+        tree.register_patch(first, backend.store(first.patch))
