@@ -66,6 +66,10 @@ class ChannelEngine:
         #: Fault-injection handle (channel ``stall`` latency spikes);
         #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
         self.faults = NULL_INJECTOR
+        #: Optional :class:`repro.qos.limits.ChannelQosState` bounding
+        #: the ops admitted to this channel; set by
+        #: ``repro.qos.attach_device_qos``.  None keeps admission free.
+        self.qos = None
         self._in_service = 0
         self._busy_since = 0
         self._queued = 0
@@ -129,12 +133,23 @@ class ChannelEngine:
 
     # -- single-op execution -------------------------------------------------------
     def execute(self, op: FlashOp):
-        """Generator: run one op to completion (``yield from`` this)."""
+        """Generator: run one op to completion (``yield from`` this).
+
+        With a QoS bound attached, the op first waits for one of the
+        channel's admission slots; the queue the planes and bus see
+        stays shallow and the wait lands on the issuer as backpressure.
+        """
         if op.address.channel != self.channel:
             raise ValueError(
                 f"op for channel {op.address.channel} sent to engine "
                 f"{self.channel}"
             )
+        if self.qos is None:
+            yield from self._execute(op)
+        else:
+            yield from self.qos.admitted(self._execute(op))
+
+    def _execute(self, op: FlashOp):
         start = self.sim.now
         stall_ns = self.faults.delay_ns(
             STALL, op=op.kind.name.lower(), chip=op.address.chip

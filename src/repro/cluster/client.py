@@ -24,6 +24,7 @@ from repro.faults.retry import (
 )
 from repro.kv.common import PlaceholderValue
 from repro.kv.slice import Slice
+from repro.qos.breaker import CircuitBreaker, CircuitOpenError
 from repro.sim import AllOf, Simulator
 from repro.sim.stats import LatencyRecorder, ThroughputMeter
 
@@ -66,6 +67,7 @@ class KVClient:
         rng: Optional[np.random.Generator] = None,
         name: str = "client",
         retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.sim = sim
         self.network = network
@@ -82,6 +84,12 @@ class KVClient:
         #: Optional per-request timeout/backoff policy.  ``None`` (the
         #: default) keeps the historical fail-fast single attempt.
         self.retry = retry
+        #: Optional :class:`~repro.qos.breaker.CircuitBreaker` guarding
+        #: this client's server: while open, requests fail locally with
+        #: :class:`~repro.qos.breaker.CircuitOpenError` instead of
+        #: adding load to a node already in trouble.
+        self.breaker = breaker
+        self.requests_shed = 0
         self._write_seq = 0
 
     # -- key selection ---------------------------------------------------------------
@@ -110,41 +118,76 @@ class KVClient:
     def request_once(self):
         """One synchronous batched request (the unit the paper measures).
 
-        Without a retry policy the request runs inline (identical event
-        sequence to the original client).  With one, each attempt is
-        raced against ``timeout_ns``; a timed-out or transiently failed
-        attempt is abandoned and reissued after exponential backoff with
-        jitter, until the attempt budget is spent.
+        Without a retry policy or breaker the request runs inline
+        (identical event sequence to the original client).  With a retry
+        policy, each attempt is raced against ``timeout_ns``; a
+        timed-out or transiently failed attempt is abandoned and
+        reissued after exponential backoff with jitter, until the
+        attempt budget is spent.  A ``budget_ns`` on the policy is a
+        total deadline across all attempts, propagated to the server so
+        admission control can shed the request once it is doomed.  A
+        breaker turns a run of failures into fast local rejections.
         """
-        if self.retry is None:
+        if self.retry is None and self.breaker is None:
             yield from self._attempt_once()
             return
         policy = self.retry
+        breaker = self.breaker
+        deadline: Optional[int] = None
+        if policy is not None and policy.budget_ns is not None:
+            deadline = self.sim.now + policy.budget_ns
+        max_attempts = policy.max_attempts if policy is not None else 1
         last_error: Optional[BaseException] = None
-        for attempt in range(policy.max_attempts):
+        for attempt in range(max_attempts):
             if attempt > 0:
                 self.requests_retried += 1
                 yield self.sim.timeout(
                     policy.backoff_ns(attempt - 1, self.rng)
                 )
-            proc = self.sim.process(self._attempt_once())
-            try:
-                done, _ = yield from race_with_timeout(
-                    self.sim, proc, policy.timeout_ns
+            if deadline is not None and self.sim.now >= deadline:
+                last_error = TimeoutError(
+                    f"deadline budget of {policy.budget_ns} ns spent"
                 )
-            except TransientFault as exc:  # dropped message, node down
+                break
+            if breaker is not None and not breaker.allow():
+                self.requests_shed += 1
+                last_error = CircuitOpenError(
+                    f"breaker {breaker.name!r} is open"
+                )
+                continue
+            timeout_ns = policy.timeout_ns if policy is not None else None
+            if deadline is not None:
+                timeout_ns = min(timeout_ns, deadline - self.sim.now)
+            proc = self.sim.process(self._attempt_once(deadline_ns=deadline))
+            try:
+                if timeout_ns is None:
+                    # Breaker without a retry policy: single unbounded
+                    # attempt, the breaker learning from its outcome.
+                    yield proc
+                    done = True
+                else:
+                    done, _ = yield from race_with_timeout(
+                        self.sim, proc, timeout_ns
+                    )
+            except TransientFault as exc:  # dropped message, node down, shed
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = exc
                 continue
             if done:
+                if breaker is not None:
+                    breaker.record_success()
                 return
+            if breaker is not None:
+                breaker.record_failure()
             last_error = TimeoutError(
-                f"request exceeded {policy.timeout_ns} ns"
+                f"request exceeded {timeout_ns} ns"
             )
         raise RequestAbandonedError(
-            f"request failed after {policy.max_attempts} attempts"
+            f"request failed after {max_attempts} attempts"
         ) from last_error
 
-    def _attempt_once(self):
+    def _attempt_once(self, deadline_ns: Optional[int] = None):
         """Generator: one request attempt (the original request body)."""
         spec = self.spec
         start = self.sim.now
@@ -171,7 +214,9 @@ class KVClient:
             per_sub = response_bytes // spec.batch_size
 
             def sub_read(key):
-                value = yield from self.server.handle_get(key)
+                value = yield from self.server.handle_get(
+                    key, deadline_ns=deadline_ns
+                )
                 yield from self.network.send(
                     self.server.nic, self.nic, per_sub
                 )
@@ -190,7 +235,9 @@ class KVClient:
                 defuse_on_failure(
                     self.sim.process(
                         self.server.handle_put(
-                            key, PlaceholderValue(spec.value_bytes)
+                            key,
+                            PlaceholderValue(spec.value_bytes),
+                            deadline_ns=deadline_ns,
                         )
                     )
                 )

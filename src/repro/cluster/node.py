@@ -22,6 +22,7 @@ from repro.faults.errors import TransientFault
 from repro.kv.common import PlaceholderValue
 from repro.kv.compaction import split_patch
 from repro.kv.slice import Slice
+from repro.qos.admission import DeadlineExceededError
 from repro.sim import Resource, Simulator, Store
 from repro.sim.stats import Counter, ThroughputMeter
 
@@ -86,6 +87,12 @@ class StorageServer:
         self.scans = Counter("server.scans")
         #: Optional :class:`repro.obs.Observability`; see :meth:`attach_obs`.
         self.obs = None
+        #: Optional :class:`repro.qos.admission.AdmissionController`; set
+        #: by ``repro.qos.attach_server_qos``.  None keeps every request
+        #: admitted unconditionally.
+        self.qos = None
+        #: CPU latency multiplier (brownout fault); 1.0 = healthy.
+        self.slowdown = 1.0
         #: Liveness: requests raise :class:`NodeDownError` while False.
         self.up = True
         #: Bumped on every crash; in-flight background work from an
@@ -200,6 +207,40 @@ class StorageServer:
                 )
         return replayed
 
+    # -- brownout (degraded-mode) ------------------------------------------------------
+    def begin_brownout(self, multiplier: float = 10.0) -> None:
+        """Degrade the node: every handler CPU charge is multiplied by
+        ``multiplier`` until :meth:`end_brownout`.  The node stays up and
+        keeps answering -- just slowly, which is exactly the failure mode
+        crashes cannot exercise (clients must decide a live-but-slow
+        node is not worth waiting for)."""
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1.0, got {multiplier}")
+        self.slowdown = float(multiplier)
+        if self.obs is not None:
+            self.obs.metrics.counter("server.brownouts").add(1)
+            if self.obs.trace.enabled:
+                self.obs.trace.instant(
+                    "server/lifecycle",
+                    "brownout_begin",
+                    self.sim.now,
+                    multiplier=multiplier,
+                )
+
+    def end_brownout(self) -> None:
+        """Restore healthy request latency."""
+        self.slowdown = 1.0
+        if self.obs is not None and self.obs.trace.enabled:
+            self.obs.trace.instant(
+                "server/lifecycle", "brownout_end", self.sim.now
+            )
+
+    def _slow(self, ns: int) -> int:
+        """Apply the brownout multiplier to one CPU charge."""
+        if self.slowdown == 1.0:
+            return ns
+        return int(ns * self.slowdown)
+
     # -- routing -------------------------------------------------------------------
     def route(self, key) -> Slice:
         """The slice owning this key (KeyError if none)."""
@@ -215,66 +256,103 @@ class StorageServer:
 
         return self.per_request_cpu_ns + transfer_ns(nbytes, self.copy_mb_per_s)
 
-    def handle_get(self, key):
-        """Generator -> the value (or None): at most one device read."""
+    def handle_get(self, key, deadline_ns: Optional[int] = None):
+        """Generator -> the value (or None): at most one device read.
+
+        ``deadline_ns`` is the client's propagated absolute deadline:
+        with admission control attached, a get whose deadline already
+        passed (or passes while queued on the slice CPU) is shed instead
+        of served -- it cannot possibly answer in time, so serving it
+        would only steal capacity from requests that still can.
+        """
         self._check_up()
-        self.gets.add()
-        start = self.sim.now
-        slice_ = self.route(key)
-        slice_.reads.add()
-        with self._slice_cpu[slice_.slice_id].request() as cpu:
-            yield cpu
-            wait_ns = self.sim.now - start
-            yield self.sim.timeout(self.per_request_cpu_ns)
-        # The node may have died while this request queued; answering
-        # from post-crash DRAM state could serve a stale miss.
-        self._check_up()
-        kind, payload = slice_.lsm.get(key)
-        result = payload if kind == "value" else None
-        if kind not in ("value", "miss"):
-            result = yield from self.storage.read_value(payload, key)
+        qos = self.qos
+        if qos is not None:
+            qos.try_admit("read", deadline_ns)
+        try:
+            self.gets.add()
+            start = self.sim.now
+            slice_ = self.route(key)
+            slice_.reads.add()
             with self._slice_cpu[slice_.slice_id].request() as cpu:
                 yield cpu
-                yield self.sim.timeout(
-                    self._cpu_cost_ns(payload.size) - self.per_request_cpu_ns
+                wait_ns = self.sim.now - start
+                yield self.sim.timeout(self._slow(self.per_request_cpu_ns))
+            # The node may have died while this request queued; answering
+            # from post-crash DRAM state could serve a stale miss.
+            self._check_up()
+            if qos is not None and qos.expired(deadline_ns):
+                raise DeadlineExceededError(
+                    f"get of {key!r} missed its deadline while queued"
                 )
-        if self.obs is not None:
-            self._note_request("get", slice_, start, wait_ns, source=kind)
-        return result
+            kind, payload = slice_.lsm.get(key)
+            result = payload if kind == "value" else None
+            if kind not in ("value", "miss"):
+                result = yield from self.storage.read_value(payload, key)
+                with self._slice_cpu[slice_.slice_id].request() as cpu:
+                    yield cpu
+                    yield self.sim.timeout(self._slow(
+                        self._cpu_cost_ns(payload.size)
+                        - self.per_request_cpu_ns
+                    ))
+            if self.obs is not None:
+                self._note_request("get", slice_, start, wait_ns, source=kind)
+            return result
+        finally:
+            if qos is not None:
+                qos.release("read")
 
-    def handle_put(self, key, value):
-        """Generator: insert; blocks only when flushes are backed up."""
+    def handle_put(self, key, value, deadline_ns: Optional[int] = None):
+        """Generator: insert; blocks only when flushes are backed up.
+
+        With admission control attached, a put is additionally gated on
+        the slice's LSM write pressure (RocksDB-style stall/stop on
+        flush backlog and level-0 runs), and one whose propagated
+        ``deadline_ns`` passed is shed.
+        """
         self._check_up()
-        self.puts.add()
-        start = self.sim.now
-        slice_ = self.route(key)
-        slice_.writes.add()
-        from repro.kv.common import sizeof_value
+        qos = self.qos
+        if qos is not None:
+            qos.try_admit("write", deadline_ns)
+        try:
+            self.puts.add()
+            start = self.sim.now
+            slice_ = self.route(key)
+            slice_.writes.add()
+            from repro.kv.common import sizeof_value
 
-        with self._slice_cpu[slice_.slice_id].request() as cpu:
-            yield cpu
-            wait_ns = self.sim.now - start
-            yield self.sim.timeout(self._cpu_cost_ns(sizeof_value(value)))
-        # A put must never be acknowledged out of a dead epoch: the
-        # memtable it would land in no longer backs any acked state.
-        self._check_up()
-        frozen = slice_.lsm.put(key, value)
-        if frozen is not None:
-            # Capture the epoch before blocking on a flush slot: if the
-            # node crashes while we wait, the frozen patch was wiped with
-            # the rest of volatile state and must not be registered.
-            epoch = self._epoch
-            slot = self._flush_slots[slice_.slice_id].request()
-            yield slot
-            self.sim.process(self._flush(slice_, frozen, slot, epoch))
-        if self.obs is not None:
-            self._note_request(
-                "put", slice_, start, wait_ns, flush=frozen is not None
-            )
+            with self._slice_cpu[slice_.slice_id].request() as cpu:
+                yield cpu
+                wait_ns = self.sim.now - start
+                yield self.sim.timeout(
+                    self._slow(self._cpu_cost_ns(sizeof_value(value)))
+                )
+            # A put must never be acknowledged out of a dead epoch: the
+            # memtable it would land in no longer backs any acked state.
+            self._check_up()
+            if qos is not None:
+                yield from qos.write_stall_gate(slice_, deadline_ns)
+                self._check_up()
+            frozen = slice_.lsm.put(key, value)
+            if frozen is not None:
+                # Capture the epoch before blocking on a flush slot: if the
+                # node crashes while we wait, the frozen patch was wiped with
+                # the rest of volatile state and must not be registered.
+                epoch = self._epoch
+                slot = self._flush_slots[slice_.slice_id].request()
+                yield slot
+                self.sim.process(self._flush(slice_, frozen, slot, epoch))
+            if self.obs is not None:
+                self._note_request(
+                    "put", slice_, start, wait_ns, flush=frozen is not None
+                )
+        finally:
+            if qos is not None:
+                qos.release("write")
 
-    def handle_delete(self, key):
+    def handle_delete(self, key, deadline_ns: Optional[int] = None):
         """Generator: delete = put of a tombstone."""
-        yield from self.handle_put(key, _tombstone())
+        yield from self.handle_put(key, _tombstone(), deadline_ns=deadline_ns)
 
     def scan_plan(self, lo, hi):
         """All (slice, run) pairs a range scan must read, synchronously
@@ -288,21 +366,35 @@ class StorageServer:
             plan.append((slice_, memory_items, runs))
         return plan
 
-    def handle_patch_read(self, handle, slice_: Optional[Slice] = None):
+    def handle_patch_read(
+        self,
+        handle,
+        slice_: Optional[Slice] = None,
+        deadline_ns: Optional[int] = None,
+    ):
         """Generator -> a whole patch (one 8 MB sequential read).
 
         When ``slice_`` is given, the request serializes on that
-        slice's handler thread like any other request.
+        slice's handler thread like any other request and counts
+        against the ``scan`` admission class.
         """
+        qos = self.qos if slice_ is not None else None
         if slice_ is not None:
             self._check_up()
-            with self._slice_cpu[slice_.slice_id].request() as cpu:
-                yield cpu
-                yield self.sim.timeout(self.per_request_cpu_ns)
-        else:
-            yield self.sim.timeout(self.per_request_cpu_ns)
-        patch = yield from self.storage.read_patch(handle)
-        return patch
+            if qos is not None:
+                qos.try_admit("scan", deadline_ns)
+        try:
+            if slice_ is not None:
+                with self._slice_cpu[slice_.slice_id].request() as cpu:
+                    yield cpu
+                    yield self.sim.timeout(self._slow(self.per_request_cpu_ns))
+            else:
+                yield self.sim.timeout(self._slow(self.per_request_cpu_ns))
+            patch = yield from self.storage.read_patch(handle)
+            return patch
+        finally:
+            if qos is not None:
+                qos.release("scan")
 
     # -- background work ---------------------------------------------------------------
     def _flush(self, slice_: Slice, frozen, slot, epoch: Optional[int] = None):

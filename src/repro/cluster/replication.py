@@ -67,9 +67,15 @@ class ReplicatedKV:
         rng: Optional[np.random.Generator] = None,
         faults=None,
         retry: Optional[RetryPolicy] = None,
+        breakers: Optional[List] = None,
     ):
         if not servers:
             raise ValueError("need at least one replica server")
+        if breakers is not None and len(breakers) != len(servers):
+            raise ValueError(
+                f"need one breaker per replica: got {len(breakers)} "
+                f"breakers for {len(servers)} servers"
+            )
         if not 0.0 <= read_failure_rate < 1.0:
             raise ValueError("read_failure_rate outside [0, 1)")
         if read_failure_rate > 0.0 and rng is None:
@@ -101,6 +107,13 @@ class ReplicatedKV:
         self.rng = rng
         self.faults = faults if faults is not None else NULL_INJECTOR
         self.retry = retry
+        #: Optional per-replica :class:`~repro.qos.breaker.CircuitBreaker`
+        #: list (index-aligned with ``servers``).  Opting in also bounds
+        #: each *write* attempt by ``retry.timeout_ns``, so a replica in
+        #: brownout trips its breaker instead of stalling every put --
+        #: timed-out replicas go to the missed ledger and are healed
+        #: later, exactly like replicas that were down.
+        self.breakers = breakers
         #: keys each replica missed while down, in arrival order.
         self._behind: List[Dict[object, bool]] = [{} for _ in servers]
         #: per-key write sequence, bumped synchronously when a put is
@@ -140,6 +153,12 @@ class ReplicatedKV:
             if not server.up:
                 self._behind[index][key] = True
                 continue
+            if self.breakers is not None and not self.breakers[index].allow():
+                # Fast local failure: the replica is presumed unhealthy,
+                # so record the debt for heal() instead of feeding load
+                # to a node already in trouble.
+                self._behind[index][key] = True
+                continue
             # Defused up front: a replica crashing under writer N+1 while
             # we still await writer N must reach us at our yield, not
             # crash the kernel's unobserved-failure check.
@@ -155,11 +174,34 @@ class ReplicatedKV:
         last_error: Optional[BaseException] = None
         for index, proc in writers:
             try:
-                yield proc
+                if self.breakers is not None and self.retry is not None:
+                    # With breakers opted in, a write attempt is bounded
+                    # in time too: a replica in brownout times out, goes
+                    # to the missed ledger, and trips its breaker.  (Its
+                    # abandoned write may still land; heal() re-copies
+                    # the current value, so that is harmless.)
+                    done, _ = yield from race_with_timeout(
+                        self.sim, proc, self.retry.timeout_ns
+                    )
+                    if not done:
+                        self.timeouts.add()
+                        self.breakers[index].record_failure()
+                        self._behind[index][key] = True
+                        last_error = TimeoutError(
+                            f"replica {index} write of {key!r} exceeded "
+                            f"{self.retry.timeout_ns} ns"
+                        )
+                        continue
+                else:
+                    yield proc
             except TransientFault as exc:  # crashed while the put ran
+                if self.breakers is not None:
+                    self.breakers[index].record_failure()
                 self._behind[index][key] = True
                 last_error = exc
                 continue
+            if self.breakers is not None:
+                self.breakers[index].record_success()
             acked += 1
             # The replica now holds the newest value, even if it was
             # behind on this key before (e.g. written mid-resync).
@@ -209,6 +251,14 @@ class ReplicatedKV:
                 self.degraded_reads.add()
             for order, index in enumerate(candidates):
                 server = self.servers[index]
+                breaker = (
+                    self.breakers[index] if self.breakers is not None else None
+                )
+                if breaker is not None and not breaker.allow():
+                    last_error = ReplicaReadError(
+                        f"breaker open for replica {index}"
+                    )
+                    continue
                 try:
                     if policy is None:
                         value = yield from server.handle_get(key)
@@ -219,6 +269,8 @@ class ReplicatedKV:
                         )
                         if not done:
                             self.timeouts.add()
+                            if breaker is not None:
+                                breaker.record_failure()
                             last_error = TimeoutError(
                                 f"replica {index} exceeded "
                                 f"{policy.timeout_ns} ns for {key!r}"
@@ -228,8 +280,12 @@ class ReplicatedKV:
                     last_error = exc
                     continue
                 except TransientFault as exc:  # died mid-request
+                    if breaker is not None:
+                        breaker.record_failure()
                     last_error = exc
                     continue
+                if breaker is not None:
+                    breaker.record_success()
                 if (
                     self.faults.fires(
                         READ_UNCORRECTABLE, replica=index, key=key

@@ -60,6 +60,11 @@ class UserSpaceBlockLayer:
         self._m_writes = self._m_reads = None
         self._m_frees = self._m_rewrites = None
         self._m_backlog: List = []
+        #: Optional :class:`repro.qos.limits.BlockWriteLimiter` bounding
+        #: concurrent block writes per channel; set by
+        #: ``repro.qos.attach_block_layer_qos``.  None leaves writes
+        #: unbounded.
+        self.qos = None
 
         self._next_id = 0
         self._locations: Dict[int, BlockLocation] = {}
@@ -156,13 +161,21 @@ class UserSpaceBlockLayer:
         channel_index = self.placement.choose(block_id, self.loads)
         channel = self.device.channels[channel_index]
         self.loads[channel_index] += 1
+        write_slot = None
         try:
+            if self.qos is not None:
+                # Wait for a per-channel write slot while the load count
+                # already reflects us, so placement steers later writes
+                # around the backlog we are queued behind.
+                write_slot = yield from self.qos.acquire(channel_index)
             logical_block = yield from self._acquire_block(channel_index)
             yield from channel.write(logical_block, self._paginate(data))
             self._locations[block_id] = BlockLocation(
                 channel_index, logical_block
             )
         finally:
+            if write_slot is not None:
+                self.qos.release(channel_index, write_slot)
             self.loads[channel_index] -= 1
         if obs is not None:
             self._m_writes.add()

@@ -46,6 +46,11 @@ class EccModel:
             raise ValueError("codeword_bytes must be positive")
         self.corrected_reads = 0
         self.uncorrectable_reads = 0
+        self.clean_reads = 0
+        #: Optional :class:`repro.obs.Observability`; set by
+        #: ``repro.obs.attach_ecc``, which exposes the three outcome
+        #: tallies above as pull metrics (``ecc.reads_*``).
+        self.obs = None
 
     def uncorrectable_probability(
         self, page_bytes: int, pe_cycles: int
@@ -59,12 +64,14 @@ class EccModel:
     def read_outcome(self, page_bytes: int, pe_cycles: int) -> ReadStatus:
         """Sample the outcome of one page read."""
         if self.rng is None:
+            self.clean_reads += 1
             return ReadStatus.CLEAN
         rber = self.rber_model.rber(pe_cycles)
         n_bits = page_bytes * 8
         # Expected raw errors tiny -> use a Poisson draw for the count.
         n_errors = int(self.rng.poisson(rber * n_bits))
         if n_errors == 0:
+            self.clean_reads += 1
             return ReadStatus.CLEAN
         p_fail = self.uncorrectable_probability(page_bytes, pe_cycles)
         # Condition on at least one error having occurred.

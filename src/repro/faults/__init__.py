@@ -17,6 +17,7 @@ workload is guaranteed to produce the same fault sequence.
 
 from repro.faults.errors import FaultInjectionError, TransientFault
 from repro.faults.injector import (
+    BROWNOUT,
     CRASH,
     DELAY,
     DROP,
@@ -46,6 +47,7 @@ from repro.faults.wire import (
 )
 
 __all__ = [
+    "BROWNOUT",
     "CRASH",
     "DELAY",
     "DROP",

@@ -17,7 +17,7 @@ site                      faults consulted there
 ``ch<N>``                 channel engine N (``stall`` latency spikes)
 ``link``                  host link (``drop``, ``delay``)
 ``net``                   datacenter network (``drop``, ``delay``)
-``node<N>``               storage server N (scheduled ``crash``)
+``node<N>``               storage server N (scheduled ``crash``/``brownout``)
 ``replication``           ``ReplicatedKV`` read-path BCH-failure stand-in
 ========================  =====================================================
 
@@ -43,6 +43,7 @@ STALL = "stall"  #: channel latency spike
 DROP = "drop"  #: message/transfer lost
 DELAY = "delay"  #: message/transfer delayed
 CRASH = "crash"  #: node crash (scheduled; paired with restart)
+BROWNOUT = "brownout"  #: node slowdown (scheduled; latency multiplier)
 
 
 @dataclass(frozen=True)

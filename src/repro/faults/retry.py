@@ -17,6 +17,7 @@ networked client giving up on a slow server.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.sim.events import AnyOf
 
@@ -30,7 +31,13 @@ class RetryPolicy:
     Attempt ``k`` (0-based) sleeps ``backoff_ns(k)`` before retrying:
     ``min(backoff_max_ns, backoff_base_ns * backoff_factor**k)``, spread
     by ``jitter`` (a +/- fraction) when an RNG is supplied so retrying
-    clients don't stampede in lockstep.
+    clients don't stampede in lockstep.  ``backoff_max_ns`` is a hard
+    cap: jitter never pushes a sleep past it.
+
+    ``budget_ns``, when set, is a *total* deadline spanning all attempts
+    of one logical request: no new attempt starts after the budget is
+    spent, and the deadline propagates to servers so admission control
+    can shed the request once it cannot possibly answer in time.
     """
 
     timeout_ns: int = 50 * MS
@@ -39,6 +46,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     backoff_max_ns: int = 64 * MS
     jitter: float = 0.2
+    budget_ns: Optional[int] = None
 
     def __post_init__(self):
         if self.timeout_ns <= 0:
@@ -47,6 +55,8 @@ class RetryPolicy:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.budget_ns is not None and self.budget_ns <= 0:
+            raise ValueError(f"budget_ns must be > 0, got {self.budget_ns}")
 
     def backoff_ns(self, attempt: int, rng=None) -> int:
         """Backoff before retry number ``attempt`` (0-based), in ns."""
@@ -56,7 +66,7 @@ class RetryPolicy:
         )
         if rng is not None and self.jitter > 0.0:
             base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
-        return max(0, int(base))
+        return max(0, min(self.backoff_max_ns, int(base)))
 
 
 def defuse_on_failure(event):

@@ -6,10 +6,18 @@ faults (node crashes with a recovery time) need something to push them.
 spawns one driver process per fault: sleep until ``at_ns``, apply the
 fault, sleep ``duration_ns``, run the target's recovery.
 
-Currently the only scheduled kind is ``crash``; the target must expose
-``crash()`` (synchronous) and ``restart()`` (a generator to run as part
-of the driver process).  An optional ``on_restore`` callback -- also a
-generator -- runs after restart, which is where replica resynchronisation
+Scheduled kinds:
+
+* ``crash`` -- the target must expose ``crash()`` (synchronous) and
+  ``restart()`` (a generator to run as part of the driver process);
+* ``brownout`` -- the target must expose ``begin_brownout(multiplier)``
+  and ``end_brownout()`` (both synchronous); the node stays up but every
+  handler CPU charge is multiplied for the fault's duration.  Pass the
+  multiplier as a schedule arg: ``plan.schedule(site, BROWNOUT, at_ns,
+  duration_ns, multiplier=20.0)``.
+
+An optional ``on_restore`` callback -- a generator -- runs after
+recovery of either kind, which is where replica resynchronisation
 (:meth:`repro.cluster.replication.ReplicatedKV.heal`) hooks in.
 """
 
@@ -18,7 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.faults.errors import FaultInjectionError
-from repro.faults.injector import CRASH, ScheduledFault
+from repro.faults.injector import BROWNOUT, CRASH, ScheduledFault
 
 
 class FaultRunner:
@@ -72,6 +80,18 @@ class FaultRunner:
                 yield self.sim.timeout(fault.duration_ns)
             yield from target.restart()
             injector.note("restart", **dict(fault.args))
+            if on_restore is not None:
+                yield from on_restore()
+        elif fault.kind == BROWNOUT:
+            args = dict(fault.args)
+            target.begin_brownout(args.get("multiplier", 10.0))
+            injector.inject(BROWNOUT, **args)
+            if fault.duration_ns is None:
+                return  # never recovers
+            if fault.duration_ns > 0:
+                yield self.sim.timeout(fault.duration_ns)
+            target.end_brownout()
+            injector.note("brownout_end", **args)
             if on_restore is not None:
                 yield from on_restore()
         else:

@@ -438,6 +438,35 @@ class LSMTree:
         """Frozen patches awaiting storage registration."""
         return len(self._pending)
 
+    def write_pressure(self, config) -> str:
+        """``"ok"``/``"stall"``/``"stop"`` against a
+        :class:`~repro.qos.config.WriteStallConfig`.
+
+        The pressure signals are the flush backlog (frozen patches not
+        yet durable on storage) and the level-0 run count (patches
+        flushed but not yet merged down) -- the same pair RocksDB keys
+        its write stalls on.  ``stop`` dominates ``stall``.
+        """
+        pending = self.n_pending
+        l0_runs = len(self._levels[0])
+        if (
+            config.stop_pending_patches is not None
+            and pending >= config.stop_pending_patches
+        ) or (
+            config.stop_l0_runs is not None
+            and l0_runs >= config.stop_l0_runs
+        ):
+            return "stop"
+        if (
+            config.stall_pending_patches is not None
+            and pending >= config.stall_pending_patches
+        ) or (
+            config.stall_l0_runs is not None
+            and l0_runs >= config.stall_l0_runs
+        ):
+            return "stall"
+        return "ok"
+
     def level_sizes(self) -> List[int]:
         """Run count per level."""
         return [len(level) for level in self._levels]

@@ -60,6 +60,11 @@ class Slice:
             lambda _now: self.lsm.memtable.nbytes,
         )
 
+    def write_pressure(self, config) -> str:
+        """This slice's LSM write pressure (see
+        :meth:`repro.kv.lsm.LSMTree.write_pressure`)."""
+        return self.lsm.write_pressure(config)
+
     def owns(self, key) -> bool:
         """True when the key falls in this slice's range."""
         return key in self.key_range

@@ -34,6 +34,7 @@ from repro.obs.attach import (
     Observability,
     attach_block_layer,
     attach_device,
+    attach_ecc,
     attach_server,
     attach_system,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "Observability",
     "attach_block_layer",
     "attach_device",
+    "attach_ecc",
     "attach_server",
     "attach_system",
     "Gauge",

@@ -105,3 +105,24 @@ def attach_system(obs: Observability, system) -> None:
 def attach_server(obs: Observability, server) -> None:
     """Instrument a :class:`~repro.cluster.node.StorageServer`."""
     server.attach_obs(obs)
+
+
+def attach_ecc(obs: Observability, ecc) -> None:
+    """Instrument an :class:`~repro.ecc.model.EccModel`.
+
+    Every ``read_outcome`` increments one of the ``ecc.reads_clean`` /
+    ``ecc.reads_corrected`` / ``ecc.reads_uncorrectable`` counters, so
+    correction pressure shows up in the same snapshot as the QoS
+    shed/stall metrics it tends to precede.
+    """
+    ecc.obs = obs
+    registry = obs.metrics
+    registry.register_callback(
+        "ecc.reads_clean", lambda _now: ecc.clean_reads
+    )
+    registry.register_callback(
+        "ecc.reads_corrected", lambda _now: ecc.corrected_reads
+    )
+    registry.register_callback(
+        "ecc.reads_uncorrectable", lambda _now: ecc.uncorrectable_reads
+    )

@@ -1,0 +1,154 @@
+"""A per-node circuit breaker for cluster clients.
+
+Retrying clients amplify brownouts: a node serving at 10x latency makes
+every client time out, retry, and double the offered load on the node
+that could least afford it.  The breaker converts that feedback loop
+into fast local failure:
+
+* **closed** -- requests flow; ``failure_threshold`` *consecutive*
+  failures trip the breaker open.
+* **open** -- requests are rejected locally (no load reaches the node)
+  until ``reset_ns`` of simulated time has passed.
+* **half-open** -- after the cooldown one probe stream is allowed;
+  ``half_open_successes`` consecutive successes close the breaker,
+  any failure re-opens it for another full cooldown.
+
+Deterministic by construction: state depends only on the sequence of
+``allow``/``record_*`` calls and the simulated clock.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.faults.errors import TransientFault
+from repro.sim.stats import Counter
+
+
+class CircuitOpenError(TransientFault):
+    """The breaker rejected a request locally (node presumed unhealthy)."""
+
+
+class BreakerState(Enum):
+    """The classic three-state breaker automaton."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One client's health automaton for one remote node."""
+
+    def __init__(
+        self,
+        sim,
+        failure_threshold: int = 5,
+        reset_ns: int = 100_000_000,
+        half_open_successes: int = 1,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_ns < 1:
+            raise ValueError("reset_ns must be >= 1")
+        if half_open_successes < 1:
+            raise ValueError("half_open_successes must be >= 1")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_ns = reset_ns
+        self.half_open_successes = half_open_successes
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0
+        #: (at_ns, from_state, to_state) tuples, in order.
+        self.transitions = []
+        self.opens = Counter(f"qos.{name}.opens")
+        self.closes = Counter(f"qos.{name}.closes")
+        self.rejections = Counter(f"qos.{name}.rejections")
+        self.obs = None
+
+    # -- observability ---------------------------------------------------------------
+    def bind_obs(self, obs) -> None:
+        """Register open/close/rejection counters and a state gauge."""
+        self.obs = obs
+        registry = obs.metrics
+        for counter in (self.opens, self.closes, self.rejections):
+            registry.register_counter(counter.name, counter)
+        # Snapshot-friendly numeric encoding of the automaton state.
+        order = {
+            BreakerState.CLOSED: 0,
+            BreakerState.OPEN: 1,
+            BreakerState.HALF_OPEN: 2,
+        }
+        registry.register_callback(
+            f"qos.{self.name}.state", lambda _now: order[self.state]
+        )
+
+    def _transition(self, to: BreakerState) -> None:
+        now = self.sim.now
+        self.transitions.append((now, self.state, to))
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                f"qos.{self.name}.transitions"
+            ).add(1)
+            if self.obs.trace.enabled:
+                self.obs.trace.instant(
+                    f"qos/{self.name}",
+                    f"{self.state.value}->{to.value}",
+                    now,
+                )
+        self.state = to
+
+    # -- the automaton ----------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request be sent to the node right now?
+
+        Rejections are counted; an open breaker whose cooldown elapsed
+        moves to half-open and admits the probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.sim.now - self._opened_at >= self.reset_ns:
+                self._probe_successes = 0
+                self._transition(BreakerState.HALF_OPEN)
+                return True
+            self.rejections.add()
+            return False
+        return True  # half-open: the probe stream flows
+
+    def record_success(self) -> None:
+        """A request to the node completed in time."""
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_successes:
+                self.closes.add()
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request to the node failed or timed out."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = self.sim.now
+        self.opens.add()
+        self._transition(BreakerState.OPEN)
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state.value}, "
+            f"opens={self.opens.value})"
+        )

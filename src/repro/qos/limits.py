@@ -1,0 +1,119 @@
+"""Bounded-queue limiters for the device layers.
+
+:class:`ChannelQosState` caps the flash ops admitted to one
+:class:`~repro.channel.engine.ChannelEngine`; ops beyond the bound wait
+*before* contending for the channel's planes and bus, so the queue the
+hardware sees stays shallow and the wait surfaces as backpressure to
+whoever issued the op (the block layer, and transitively the LSM flush
+path).  :class:`BlockWriteLimiter` does the same one level up for whole
+8 MB block writes.
+
+Both are plain resource wrappers: deterministic, FIFO, and invisible
+(no extra events) until an op actually has to wait.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Resource
+from repro.sim.stats import Counter
+
+
+class ChannelQosState:
+    """Admission slots for one channel engine."""
+
+    def __init__(self, sim, channel: int, max_inflight: int, name: str = ""):
+        prefix = f"qos.{name}ch{channel}"
+        self.sim = sim
+        self.channel = channel
+        self.max_inflight = max_inflight
+        self.slots = Resource(sim, capacity=max_inflight)
+        self.throttled = Counter(f"{prefix}.throttled")
+        self.throttle_wait_ns = Counter(f"{prefix}.throttle_wait_ns")
+        self._prefix = prefix
+        self._depth = 0
+        self.obs = None
+
+    def bind_obs(self, obs) -> None:
+        """Register throttle counters and the admission-depth timeline."""
+        self.obs = obs
+        registry = obs.metrics
+        registry.register_counter(self.throttled.name, self.throttled)
+        registry.register_counter(
+            self.throttle_wait_ns.name, self.throttle_wait_ns
+        )
+
+    def _note_depth(self) -> None:
+        if self.obs is not None:
+            self.obs.metrics.time_weighted(
+                f"{self._prefix}.admission_depth"
+            ).update(self.sim.now, self._depth)
+
+    def admitted(self, inner):
+        """Generator: run ``inner`` (an op-execution generator) holding
+        one admission slot; waits for a slot first when the channel is
+        at its bound."""
+        queued = self.sim.now
+        self._depth += 1
+        self._note_depth()
+        try:
+            with self.slots.request() as slot:
+                yield slot
+                waited = self.sim.now - queued
+                if waited > 0:
+                    self.throttled.add()
+                    self.throttle_wait_ns.add(waited)
+                yield from inner
+        finally:
+            self._depth -= 1
+            self._note_depth()
+
+    def __repr__(self):
+        return (
+            f"ChannelQosState(ch{self.channel}, "
+            f"max_inflight={self.max_inflight}, depth={self._depth})"
+        )
+
+
+class BlockWriteLimiter:
+    """Per-channel bound on concurrent block-layer writes."""
+
+    def __init__(self, sim, n_channels: int, max_inflight: int, name: str = ""):
+        prefix = f"qos.{name}blk"
+        self.sim = sim
+        self.max_inflight = max_inflight
+        self.slots = [
+            Resource(sim, capacity=max_inflight) for _ in range(n_channels)
+        ]
+        self.write_throttled = Counter(f"{prefix}.write_throttled")
+        self.write_throttle_wait_ns = Counter(f"{prefix}.write_throttle_wait_ns")
+        self.obs = None
+
+    def bind_obs(self, obs) -> None:
+        """Register the write-throttle counters."""
+        self.obs = obs
+        registry = obs.metrics
+        registry.register_counter(self.write_throttled.name, self.write_throttled)
+        registry.register_counter(
+            self.write_throttle_wait_ns.name, self.write_throttle_wait_ns
+        )
+
+    def acquire(self, channel_index: int):
+        """Generator -> the held request (pass to :meth:`release`)."""
+        queued = self.sim.now
+        request = self.slots[channel_index].request()
+        yield request
+        waited = self.sim.now - queued
+        if waited > 0:
+            self.write_throttled.add()
+            self.write_throttle_wait_ns.add(waited)
+        return request
+
+    def release(self, channel_index: int, request) -> None:
+        """Return a write slot on the channel."""
+        self.slots[channel_index].release(request)
+
+    def __repr__(self):
+        return (
+            f"BlockWriteLimiter(channels={len(self.slots)}, "
+            f"max_inflight={self.max_inflight})"
+        )

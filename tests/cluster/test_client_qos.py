@@ -1,0 +1,137 @@
+"""Deterministic tests for the client-side overload protections:
+the total deadline budget spanning retries (``RetryPolicy.budget_ns``)
+and the per-node circuit breaker on :class:`~repro.cluster.KVClient`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BatchSpec,
+    KVClient,
+    Network,
+    RequestAbandonedError,
+    build_sdf_server,
+)
+from repro.faults import RetryPolicy
+from repro.kv.slice import KeyRange, Slice
+from repro.qos import BreakerState, CircuitBreaker
+from repro.sim import MS, Simulator
+
+
+def make_client(sim, retry=None, breaker=None):
+    server = build_sdf_server(
+        sim,
+        [Slice(0, KeyRange(0, 1_000_000))],
+        capacity_scale=0.01,
+        n_channels=4,
+    )
+    client = KVClient(
+        sim,
+        Network(sim),
+        server,
+        server.slices[0],
+        BatchSpec(batch_size=1, value_bytes=4096, mode="write"),
+        rng=np.random.default_rng(5),
+        retry=retry,
+        breaker=breaker,
+    )
+    return server, client
+
+
+def run_request(sim, client):
+    outcome = {}
+
+    def proc():
+        try:
+            yield from client.request_once()
+        except RequestAbandonedError as exc:
+            outcome["abandoned"] = exc
+            return
+        outcome["ok"] = True
+
+    sim.run(until=sim.process(proc()))
+    return outcome
+
+
+def test_budget_caps_total_retry_time():
+    sim = Simulator()
+    # Jitter 0 for exact arithmetic: attempts at t=0 and t=2 ms fail
+    # instantly against the crashed server, the next backoff lands at
+    # t=6 ms past the 5 ms budget, so the request is abandoned there --
+    # well before the 10-attempt budget would run out on its own.
+    policy = RetryPolicy(
+        timeout_ns=50 * MS,
+        max_attempts=10,
+        backoff_base_ns=2 * MS,
+        backoff_factor=2.0,
+        jitter=0.0,
+        budget_ns=5 * MS,
+    )
+    server, client = make_client(sim, retry=policy)
+    server.crash()
+    outcome = run_request(sim, client)
+    assert isinstance(outcome["abandoned"].__cause__, TimeoutError)
+    assert "budget" in str(outcome["abandoned"].__cause__)
+    # Gave up once the backoff crossed the budget (attempt time is the
+    # two fast failures plus the network sends), not at attempt 10.
+    assert 6 * MS <= sim.now < 7 * MS
+    assert client.requests_retried == 2
+    assert client.requests_completed == 0
+
+
+def test_breaker_sheds_attempts_locally_after_tripping():
+    sim = Simulator()
+    policy = RetryPolicy(
+        timeout_ns=50 * MS,
+        max_attempts=6,
+        backoff_base_ns=1 * MS,
+        jitter=0.0,
+    )
+    breaker = CircuitBreaker(sim, failure_threshold=2, reset_ns=100 * MS)
+    server, client = make_client(sim, retry=policy, breaker=breaker)
+    server.crash()
+    outcome = run_request(sim, client)
+    assert "abandoned" in outcome
+    # Two real failures tripped the breaker; the remaining attempts were
+    # rejected locally without touching the server.
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens.value == 1
+    assert client.requests_shed == 4
+    assert breaker.rejections.value == 4
+
+
+def test_breaker_recloses_after_cooldown_and_success():
+    sim = Simulator()
+    policy = RetryPolicy(timeout_ns=50 * MS, max_attempts=2, jitter=0.0)
+    breaker = CircuitBreaker(sim, failure_threshold=2, reset_ns=20 * MS)
+    server, client = make_client(sim, retry=policy, breaker=breaker)
+    server.crash()
+    assert "abandoned" in run_request(sim, client)
+    assert breaker.state is BreakerState.OPEN
+
+    def recover():
+        yield from server.restart()
+
+    sim.run(until=sim.process(recover()))
+    sim.run(until=sim.now + 20 * MS)  # cooldown elapses
+    outcome = run_request(sim, client)
+    # The half-open probe went through and closed the breaker again.
+    assert outcome.get("ok") is True
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.closes.value == 1
+    assert client.requests_completed == 1
+
+
+def test_breaker_without_retry_policy_guards_single_attempts():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=1, reset_ns=50 * MS)
+    server, client = make_client(sim, breaker=breaker)
+    server.crash()
+    assert "abandoned" in run_request(sim, client)
+    assert breaker.state is BreakerState.OPEN
+    # While open, the single attempt is shed locally: no retries, no
+    # load on the server, still a clean abandonment.
+    outcome = run_request(sim, client)
+    assert "abandoned" in outcome
+    assert client.requests_shed == 1

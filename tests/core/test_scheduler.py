@@ -37,6 +37,33 @@ def test_least_loaded_rotates_ties():
     assert sorted(set(picks)) == [0, 1, 2, 3]
 
 
+def test_least_loaded_idle_burst_spreads_evenly():
+    # A burst of placements onto an idle device must spread perfectly:
+    # the rotating tie-break visits every channel before reusing one.
+    policy = LeastLoadedPlacement()
+    loads = [0] * 8
+    picks = [policy.choose(i, loads) for i in range(24)]
+    assert picks == list(range(8)) * 3
+    counts = {channel: picks.count(channel) for channel in range(8)}
+    assert set(counts.values()) == {3}
+
+
+def test_least_loaded_fixed_sequence_is_stable():
+    # Deterministic regression: one skewed load sequence, one exact
+    # answer.  Any change to tie-breaking or rotation shows up here.
+    policy = LeastLoadedPlacement()
+    sequence = [
+        ([2, 0, 1, 0], 1),  # first idle channel after rotation start
+        ([2, 1, 1, 0], 3),  # unique minimum
+        ([2, 1, 1, 1], 1),  # tie at 1: rotation resumes past channel 3
+        ([2, 2, 1, 1], 2),  # tie at 1: rotation continues from 2
+        ([2, 2, 2, 1], 3),  # unique minimum again
+        ([2, 2, 2, 2], 0),  # full tie: wraps to channel 0
+    ]
+    got = [policy.choose(i, loads) for i, (loads, _) in enumerate(sequence)]
+    assert got == [expected for _, expected in sequence]
+
+
 def test_read_priority_ordering():
     priorities = read_priority_priorities()
     assert priorities[OpKind.READ] < priorities[OpKind.PROGRAM]

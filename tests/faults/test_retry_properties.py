@@ -1,0 +1,78 @@
+"""Property-based tests for :class:`repro.faults.RetryPolicy`.
+
+``backoff_ns`` is the one piece of the retry machinery whose contract is
+numeric rather than behavioural, so it gets the hypothesis treatment:
+for any valid policy and any attempt number the sleep must be
+non-negative, never exceed the hard cap, and stay inside the +/-jitter
+envelope of the un-jittered exponential schedule.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import RetryPolicy
+
+MS = 1_000_000
+
+
+@st.composite
+def policies(draw):
+    return RetryPolicy(
+        timeout_ns=draw(st.integers(1, 500 * MS)),
+        max_attempts=draw(st.integers(1, 10)),
+        backoff_base_ns=draw(st.integers(1, 20 * MS)),
+        backoff_factor=draw(
+            st.floats(1.0, 8.0, allow_nan=False, allow_infinity=False)
+        ),
+        backoff_max_ns=draw(st.integers(1, 200 * MS)),
+        jitter=draw(st.floats(0.0, 0.999, allow_nan=False)),
+    )
+
+
+@given(policy=policies(), attempt=st.integers(0, 30), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_backoff_capped_nonnegative_and_within_jitter_envelope(
+    policy, attempt, seed
+):
+    rng = np.random.default_rng(seed)
+    sleep_ns = policy.backoff_ns(attempt, rng=rng)
+
+    # Hard invariants: an int, never negative, never past the cap --
+    # jitter included (the cap is applied after jitter).
+    assert isinstance(sleep_ns, int)
+    assert sleep_ns >= 0
+    assert sleep_ns <= policy.backoff_max_ns
+
+    # The jittered sleep stays inside +/-jitter of the un-jittered
+    # exponential schedule (then clamped to the same cap).  The +1
+    # absorbs the int() truncation.
+    ideal = min(
+        policy.backoff_max_ns,
+        policy.backoff_base_ns * policy.backoff_factor**attempt,
+    )
+    low = (1.0 - policy.jitter) * ideal
+    high = min(policy.backoff_max_ns, (1.0 + policy.jitter) * ideal)
+    assert sleep_ns <= high + 1
+    assert sleep_ns >= int(low) - 1
+
+
+@given(policy=policies(), attempt=st.integers(0, 30))
+@settings(max_examples=100, deadline=None)
+def test_backoff_without_rng_is_deterministic_and_monotone(policy, attempt):
+    # No RNG: exact un-jittered schedule, repeatable call to call.
+    first = policy.backoff_ns(attempt)
+    assert first == policy.backoff_ns(attempt)
+    assert first == min(
+        policy.backoff_max_ns,
+        int(
+            min(
+                policy.backoff_max_ns,
+                policy.backoff_base_ns * policy.backoff_factor**attempt,
+            )
+        ),
+    )
+    # Monotone in the attempt number until the cap flattens it.
+    assert policy.backoff_ns(attempt + 1) >= first or first == policy.backoff_max_ns

@@ -7,10 +7,12 @@ causes zero behavioural drift, and the exported trace is well-formed.
 
 import json
 
+import numpy as np
 import pytest
 
 from repro import build_sdf_system
-from repro.obs import Observability, attach_device, attach_system
+from repro.ecc.model import EccModel, ReadStatus
+from repro.obs import Observability, attach_device, attach_ecc, attach_system
 from repro.sim import MS, Simulator
 
 
@@ -144,3 +146,54 @@ def test_server_attach_exposes_request_metrics():
     get_spans = [s for s in obs.trace.spans if s.name == "get"]
     assert len(get_spans) == 2
     assert all("wait_ns" in span.args for span in get_spans)
+
+
+def test_ecc_attach_exposes_read_outcome_counters():
+    # Deterministic-optimistic model (rng=None): every read is CLEAN.
+    obs = Observability()
+    ecc = EccModel()
+    attach_ecc(obs, ecc)
+    for _ in range(5):
+        assert ecc.read_outcome(8192, 1000) is ReadStatus.CLEAN
+    snap = obs.snapshot()
+    assert snap["ecc.reads_clean"] == 5
+    assert snap["ecc.reads_corrected"] == 0
+    assert snap["ecc.reads_uncorrectable"] == 0
+
+
+def test_ecc_attach_counts_corrections_and_failures_at_high_wear():
+    # A seeded RNG across two wear levels drives all three outcomes
+    # (rated endurance: mostly corrected; 2x: uncorrectable); the pull
+    # metrics must always agree with the model's own tallies.
+    obs = Observability()
+    ecc = EccModel(rng=np.random.default_rng(42))
+    attach_ecc(obs, ecc)
+    n = 400
+    for index in range(n):
+        ecc.read_outcome(8192, 3_000 if index % 2 == 0 else 6_000)
+    snap = obs.snapshot()
+    assert snap["ecc.reads_clean"] == ecc.clean_reads
+    assert snap["ecc.reads_corrected"] == ecc.corrected_reads
+    assert snap["ecc.reads_uncorrectable"] == ecc.uncorrectable_reads
+    total = (
+        snap["ecc.reads_clean"]
+        + snap["ecc.reads_corrected"]
+        + snap["ecc.reads_uncorrectable"]
+    )
+    assert total == n
+    assert snap["ecc.reads_corrected"] > 0
+    assert snap["ecc.reads_uncorrectable"] > 0
+
+
+def test_ecc_attach_is_pull_only_no_hot_path_cost():
+    # The model never calls into obs on a read -- attach_ecc registers
+    # callbacks over the plain attribute tallies, so an unattached model
+    # has no obs coupling at all.
+    ecc = EccModel()
+    assert ecc.obs is None
+    ecc.read_outcome(8192, 100)
+    obs = Observability()
+    attach_ecc(obs, ecc)
+    assert ecc.obs is obs
+    # Reads made *before* attachment are still visible (pull semantics).
+    assert obs.snapshot()["ecc.reads_clean"] == 1
