@@ -1,0 +1,75 @@
+"""Compare a ``BENCH_perf.json`` report against the checked-in baseline.
+
+Wall-clock seconds vary across machines, so the gate uses two
+hardware-portable signals:
+
+* **events** -- the number of simulated events per scenario/mode is
+  deterministic; growth means the scheduler got chattier;
+* **speedup** -- the generator/timeline wall-clock ratio measures the
+  fast path's advantage on the *same* machine, so it transfers across
+  hardware far better than absolute seconds.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py BENCH_perf.json \
+        [--baseline benchmarks/perf/baseline.json] [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(report: dict, baseline: dict, tolerance: float) -> list:
+    failures = []
+    for name, base_entry in baseline.items():
+        entry = report.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from report")
+            continue
+        for mode in ("generator", "timeline"):
+            base_events = base_entry[mode]["events"]
+            events = entry[mode]["events"]
+            if events > base_events * (1 + tolerance):
+                failures.append(
+                    f"{name}/{mode}: events {events} exceeds baseline "
+                    f"{base_events} by more than {tolerance:.0%}"
+                )
+        base_speedup = base_entry["speedup"]
+        speedup = entry["speedup"]
+        if speedup < base_speedup * (1 - tolerance):
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x fell more than "
+                f"{tolerance:.0%} below baseline {base_speedup:.2f}x"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="BENCH_perf.json produced by run_perf.py")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent / "baseline.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+    report = json.loads(Path(args.report).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = check(report, baseline, args.tolerance)
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"perf check OK: {len(baseline)} scenarios within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

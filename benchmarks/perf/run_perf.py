@@ -1,0 +1,182 @@
+"""Perf-regression harness for the simulation core.
+
+Runs the paper-shaped hot scenarios in BOTH scheduling modes
+(generator and timeline), checks they agree byte-for-byte on simulated
+results, and reports wall-clock, processed events, events/sec and
+simulated throughput.  Results land in ``BENCH_perf.json`` for the CI
+perf-smoke job (see ``check_regression.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--out BENCH_perf.json]
+
+Scenarios:
+
+* ``fig7_read_44``  -- 44-channel sequential-read sweep point (Figure 7)
+* ``fig7_write_44`` -- 44-channel sequential-write sweep point (Figure 7)
+* ``kv_write_compaction`` -- LSM put stream with flushes + compactions
+  over a 4-channel SDF server (Figures 12-14 regime, scaled down)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+MODES = ("generator", "timeline")
+
+
+def _fig7_point(mode: str, direction: str):
+    from repro.devices import build_sdf
+    from repro.sim import MIB, MS, Simulator
+    from repro.workloads import drive_sdf_reads, drive_sdf_writes
+
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=0.004, mode=mode)
+    if direction == "read":
+        sdf.prefill(1.0)
+        wall0 = time.perf_counter()
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=400 * MS,
+            channels=range(44),
+            sequential=True,
+            rng=np.random.default_rng(0),
+            warmup_ns=60 * MS,
+        )
+        wall = time.perf_counter() - wall0
+        mbps = sdf.link.read_meter.mb_per_s(60 * MS, 400 * MS)
+    else:
+        wall0 = time.perf_counter()
+        drive_sdf_writes(
+            sim,
+            sdf,
+            duration_ns=1100 * MS,
+            channels=range(44),
+            warmup_ns=360 * MS,
+        )
+        wall = time.perf_counter() - wall0
+        mbps = sdf.link.write_meter.mb_per_s(360 * MS, 1100 * MS)
+    return {
+        "wall_s": wall,
+        "events": sim._seq,
+        "sim_end_ns": sim.now,
+        "mb_per_s": mbps,
+    }
+
+
+def fig7_read_44(mode: str):
+    return _fig7_point(mode, "read")
+
+
+def fig7_write_44(mode: str):
+    return _fig7_point(mode, "write")
+
+
+def kv_write_compaction(mode: str):
+    # The cluster builders resolve the engine mode from the environment.
+    previous = os.environ.get("REPRO_SIM_MODE")
+    os.environ["REPRO_SIM_MODE"] = mode
+    try:
+        from repro.cluster import build_sdf_server
+        from repro.kv.lsm import LSMTree
+        from repro.kv.slice import KeyRange, Slice
+        from repro.sim import MS, Simulator
+
+        sim = Simulator()
+        lsm = LSMTree(memtable_bytes=256 * 1024)
+        server = build_sdf_server(
+            sim,
+            [Slice(0, KeyRange(0, 1_000_000), lsm=lsm)],
+            capacity_scale=0.01,
+            n_channels=4,
+        )
+        value = b"v" * 4096
+        wall0 = time.perf_counter()
+
+        def put_stream():
+            for key in range(1500):
+                yield from server.handle_put(key % 500, value)
+
+        sim.run(until=sim.process(put_stream()))
+        sim.run(until=sim.now + 200 * MS)  # drain flushes + compactions
+        wall = time.perf_counter() - wall0
+        device = server.system.device
+        return {
+            "wall_s": wall,
+            "events": sim._seq,
+            "sim_end_ns": sim.now,
+            "mb_per_s": device.stats.write_meter.mb_per_s(0, sim.now),
+        }
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_MODE", None)
+        else:
+            os.environ["REPRO_SIM_MODE"] = previous
+
+
+SCENARIOS = {
+    "fig7_read_44": fig7_read_44,
+    "fig7_write_44": fig7_write_44,
+    "kv_write_compaction": kv_write_compaction,
+}
+
+
+def run_all():
+    report = {}
+    for name, scenario in SCENARIOS.items():
+        entry = {}
+        for mode in MODES:
+            result = scenario(mode)
+            result["events_per_s"] = (
+                result["events"] / result["wall_s"] if result["wall_s"] else 0.0
+            )
+            entry[mode] = result
+            print(
+                f"{name:>22} {mode:>9}: wall={result['wall_s']:6.2f}s "
+                f"events={result['events']:>8} "
+                f"({result['events_per_s'] / 1e3:7.1f}k ev/s) "
+                f"sim={result['mb_per_s'] / 1000:5.2f} GB/s"
+            )
+        gen, fast = entry["generator"], entry["timeline"]
+        # The modes must agree on the *simulated* outcome exactly.
+        if gen["sim_end_ns"] != fast["sim_end_ns"]:
+            raise SystemExit(
+                f"{name}: scheduling modes diverged "
+                f"(end {gen['sim_end_ns']} != {fast['sim_end_ns']})"
+            )
+        if gen["mb_per_s"] != fast["mb_per_s"]:
+            raise SystemExit(
+                f"{name}: scheduling modes diverged "
+                f"({gen['mb_per_s']} != {fast['mb_per_s']} MB/s)"
+            )
+        entry["speedup"] = gen["wall_s"] / fast["wall_s"]
+        print(f"{name:>22}   speedup: {entry['speedup']:.2f}x")
+        report[name] = entry
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parents[2] / "BENCH_perf.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_all()
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""cProfile entry point for the perf-harness scenarios.
+
+Profile one scenario from :mod:`benchmarks.perf.run_perf` in either
+scheduling mode and print the hottest functions::
+
+    PYTHONPATH=src python -m repro.analysis.profile fig7_read_44
+    PYTHONPATH=src python -m repro.analysis.profile kv_write_compaction \
+        --mode generator --sort cumulative --limit 40
+    PYTHONPATH=src python -m repro.analysis.profile fig7_write_44 \
+        --out write44.pstats        # load later with pstats.Stats
+
+The scenario registry lives in ``benchmarks/perf/run_perf.py``; this
+module adds ``benchmarks/perf`` to ``sys.path`` itself, so it works from
+a plain checkout without installing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+#: Where the perf scenarios live, relative to the repository root.
+_PERF_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "perf"
+
+
+def _load_scenarios():
+    sys.path.insert(0, str(_PERF_DIR))
+    try:
+        from run_perf import SCENARIOS
+    finally:
+        sys.path.pop(0)
+    return SCENARIOS
+
+
+def profile_scenario(name: str, mode: str, sort: str, limit: int,
+                     out: str | None = None) -> None:
+    """Run one scenario under cProfile and print/save the stats."""
+    scenarios = _load_scenarios()
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        raise SystemExit(f"unknown benchmark {name!r}; choose from: {known}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = scenarios[name](mode)
+    profiler.disable()
+    print(
+        f"{name} [{mode}]: wall={result['wall_s']:.2f}s "
+        f"events={result['events']} sim={result['mb_per_s'] / 1000:.2f} GB/s"
+    )
+    stats = pstats.Stats(profiler)
+    if out:
+        stats.dump_stats(out)
+        print(f"wrote {out}")
+    stats.sort_stats(sort).print_stats(limit)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.profile",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("benchmark", help="scenario name from the perf harness")
+    parser.add_argument(
+        "--mode", choices=("generator", "timeline"), default="timeline",
+        help="scheduling mode to profile (default: timeline)",
+    )
+    parser.add_argument(
+        "--sort", default="tottime",
+        help="pstats sort key (tottime, cumulative, ncalls, ...)",
+    )
+    parser.add_argument("--limit", type=int, default=30,
+                        help="rows of stats to print")
+    parser.add_argument("--out", default=None,
+                        help="also dump raw pstats to this path")
+    args = parser.parse_args(argv)
+    profile_scenario(args.benchmark, args.mode, args.sort, args.limit,
+                     args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,36 @@
-"""Per-channel timed execution of flash operations."""
+"""Per-channel timed execution of flash operations.
+
+Two scheduling modes produce byte-identical results (see
+DESIGN.md "Scheduling modes"):
+
+* the **generator** path models the bus and every (chip, plane) as a
+  :class:`~repro.sim.resources.PriorityResource` and runs one process
+  per op;
+* the **timeline** fast path computes the same grant/end instants
+  analytically against per-resource
+  :class:`~repro.sim.timeline.ResourceTimeline` objects and schedules
+  only a phase-boundary callback per phase plus one completion event
+  per op (or per batch).
+
+``mode`` is ``"auto"`` (fast when equivalence is provable, generator
+otherwise), ``"generator"`` or ``"timeline"``; the ``REPRO_SIM_MODE``
+environment variable overrides the default for a whole run.
+"""
 
 from __future__ import annotations
 
+import os
+from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faults.injector import NULL_INJECTOR, STALL
 from repro.ftl.ops import FlashOp, OpKind
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
-from repro.sim import AllOf, PriorityResource, Simulator
+from repro.sim import AllOf, Event, PriorityResource, Simulator
+from repro.sim.engine import _PhaseEnd
 from repro.sim.stats import Counter
+from repro.sim.timeline import BusyUnion, ResourceTimeline
 
 #: Default service priorities (lower = sooner).  The base policy is
 #: FIFO-equal; the paper's future-work scheduler prioritizes on-demand
@@ -20,6 +41,47 @@ OP_PRIORITIES: Dict[OpKind, int] = {
     OpKind.PROGRAM: 0,
     OpKind.ERASE: 0,
 }
+
+_MODES = ("auto", "generator", "timeline")
+
+
+class _BusyCounterView:
+    """Counter-compatible read view over an engine's busy time.
+
+    The generator path accrues into a plain counter while the timeline
+    path records reservation intervals; this view sums both so existing
+    ``engine.busy_ns.value`` consumers work unchanged in either mode.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "ChannelEngine"):
+        self._engine = engine
+
+    @property
+    def name(self) -> str:
+        return self._engine._busy_counter.name
+
+    @property
+    def value(self) -> int:
+        return self._engine.busy_value()
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+def default_engine_mode() -> str:
+    """The scheduling mode new engines start in.
+
+    ``REPRO_SIM_MODE`` (``auto``/``generator``/``timeline``) is the
+    run-wide escape hatch; unset means ``auto``.
+    """
+    mode = os.environ.get("REPRO_SIM_MODE", "auto")
+    if mode not in _MODES:
+        raise ValueError(
+            f"REPRO_SIM_MODE must be one of {_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class ChannelEngine:
@@ -38,12 +100,16 @@ class ChannelEngine:
         timing: NandTiming,
         chips_per_channel: int = 2,
         priorities: Optional[Dict[OpKind, int]] = None,
+        mode: Optional[str] = None,
     ):
         self.sim = sim
         self.channel = channel
         self.geometry = geometry
         self.timing = timing
         self.priorities = dict(OP_PRIORITIES if priorities is None else priorities)
+        self.mode = default_engine_mode() if mode is None else mode
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
         self.bus = PriorityResource(sim, capacity=1, name=f"ch{channel}/bus")
         self._planes: Dict[Tuple[int, int], PriorityResource] = {
             (chip, plane): PriorityResource(
@@ -52,11 +118,21 @@ class ChannelEngine:
             for chip in range(chips_per_channel)
             for plane in range(geometry.planes_per_chip)
         }
+        #: Timeline mirrors of the resources above, used by the fast path.
+        self._tl_bus = ResourceTimeline()
+        self._tl_planes: Dict[Tuple[int, int], ResourceTimeline] = {
+            key: ResourceTimeline() for key in self._planes
+        }
+        self._busy_union = BusyUnion()
+        #: Uniform priorities are a fast-path precondition: with equal
+        #: priorities a PriorityResource degenerates to FIFO, which is
+        #: what the analytic timelines compute.
+        self._uniform_priorities = len(set(self.priorities.values())) == 1
         self.ops_executed = Counter(f"channel{channel}.ops")
-        #: Time the channel had at least one op *in service* (holding a
-        #: plane or the bus) -- queue wait excluded, concurrent service
-        #: on several planes counted once, so busy_ns / elapsed <= 1.
-        self.busy_ns = Counter(f"channel{channel}.busy")
+        #: Generator-path accrual of channel busy time; the public view
+        #: combining it with the fast path's interval union is
+        #: :attr:`busy_ns` / :meth:`busy_value`.
+        self._busy_counter = Counter(f"channel{channel}.busy")
         #: Total queue wait summed over ops; can exceed wall-clock time
         #: when many ops wait concurrently.
         self.wait_ns = Counter(f"channel{channel}.wait")
@@ -73,25 +149,68 @@ class ChannelEngine:
         self._in_service = 0
         self._busy_since = 0
         self._queued = 0
+        self._depth_metric = None
+        #: Memoized bus_transfer_ns per payload size (hot path).
+        self._bus_ns_cache: Dict[int, int] = {}
 
     def plane_resource(self, chip: int, plane: int) -> PriorityResource:
         """The contention resource for one (chip, plane)."""
         return self._planes[(chip, plane)]
+
+    # -- fast-path eligibility ---------------------------------------------------
+    def fast_ok(self) -> bool:
+        """True when ops may take the timeline fast path right now.
+
+        The fast path falls back to the generator path whenever
+        equivalence cannot be guaranteed: forced generator mode,
+        non-uniform op priorities (queue order would not be FIFO), an
+        attached QoS admission bound (its slot resource interleaves with
+        the phases), or enabled tracing (spans are emitted from inside
+        resource holds the fast path never creates).
+        """
+        if self.mode == "generator" or not self._uniform_priorities:
+            return False
+        if self.qos is not None:
+            return False
+        obs = self.sim.obs
+        return obs is None or not obs.trace.enabled
 
     # -- accounting --------------------------------------------------------------
     def utilization(self, now_ns: Optional[int] = None) -> float:
         """Fraction of elapsed time with at least one op in service.
 
         Always in [0, 1]: queue wait is excluded and overlapping service
-        intervals are merged before integrating.
+        intervals are merged before integrating.  Both scheduling modes
+        feed this: the generator path through the live in-service
+        counter, the timeline path through the reservation interval
+        union.
         """
         now = self.sim.now if now_ns is None else now_ns
         if now <= 0:
             return 0.0
-        busy = self.busy_ns.value
+        busy = self._busy_counter.value + self._busy_union.busy_through(now)
         if self._in_service:
             busy += now - self._busy_since
         return busy / now
+
+    @property
+    def busy_ns(self) -> "_BusyCounterView":
+        """Time the channel had at least one op *in service* (holding a
+        plane or the bus) -- queue wait excluded, concurrent service on
+        several planes counted once, so ``busy_ns.value / elapsed <= 1``.
+        A live view valid in both scheduling modes."""
+        return _BusyCounterView(self)
+
+    def busy_value(self, now_ns: Optional[int] = None) -> int:
+        """Closed busy time (ns) through ``now``, mode-independent.
+
+        Equals the generator path's ``busy_ns`` counter: service
+        intervals count once they have fully ended; the currently open
+        interval (if any) is excluded, exactly as the counter excludes
+        in-flight service.
+        """
+        now = self.sim.now if now_ns is None else now_ns
+        return self._busy_counter.value + self._busy_union.closed_through(now)
 
     def _service_begin(self, now: int) -> None:
         if self._in_service == 0:
@@ -101,7 +220,7 @@ class ChannelEngine:
     def _service_end(self, now: int) -> None:
         self._in_service -= 1
         if self._in_service == 0:
-            self.busy_ns.add(now - self._busy_since)
+            self._busy_counter.add(now - self._busy_since)
 
     def _phase(self, resource: PriorityResource, priority: int, duration_ns: int):
         """Generator: acquire a resource, hold it for the service time.
@@ -126,10 +245,160 @@ class ChannelEngine:
                 depth.update(granted, self._queued)
             self._service_begin(granted)
             try:
-                yield self.sim.timeout(duration_ns)
+                yield self.sim.hold(duration_ns)
             finally:
                 self._service_end(self.sim.now)
         return granted - queued
+
+    # -- timeline fast path --------------------------------------------------------
+    def _phase_fast(self, timeline: ResourceTimeline, duration_ns: int, fn):
+        """Reserve one phase at sim-now, running ``fn`` at its end.
+
+        Mirrors one generator-path ``_phase``: the queue-depth metric
+        sees the request at now and the grant at its (possibly future)
+        instant, the busy union records the service interval, and ``fn``
+        fires at the end instant with slow-path tie ordering.  Returns
+        ``(grant, end)``.
+        """
+        # ResourceTimeline.reserve_and_call inlined: this is the hottest
+        # call site in timeline mode and the extra frames are measurable.
+        sim = self.sim
+        now = sim._now
+        free = timeline.free_at
+        grant = free if free > now else now
+        end = grant + duration_ns
+        timeline.free_at = end
+        hooks = []
+        if grant <= now:
+            pool = sim._phase_pool
+            if pool:
+                event = pool.pop()
+                event._processed = False
+                event._fn = fn
+                event._hooks = hooks
+            else:
+                event = _PhaseEnd(sim, fn, hooks)
+            sim._seq += 1
+            heappush(sim._heap, (end, sim._seq, event))
+        else:
+            tail = timeline._tail_hooks
+            if tail is None:
+                delay = end - grant
+                sim._schedule_call(
+                    lambda: sim._schedule(sim._phase_event(fn, hooks), delay),
+                    grant - now,
+                )
+            else:
+                tail.append((fn, hooks, end - grant))
+        timeline._tail_hooks = hooks
+        # BusyUnion.add inlined; phase durations are always positive.
+        self._busy_union._raw.append([grant, end])
+        if self.obs is not None:
+            self._depth_track(now, grant)
+        return grant, end
+
+    def _depth_track(self, request_ns: int, grant_ns: int) -> None:
+        depth = self._depth_metric
+        if depth is None:
+            depth = self._depth_metric = self.obs.metrics.time_weighted(
+                f"channel{self.channel}.queue_depth"
+            )
+        self._queued += 1
+        depth.update(request_ns, self._queued)
+        if grant_ns <= request_ns:
+            self._queued -= 1
+            depth.update(request_ns, self._queued)
+        else:
+
+            def granted():
+                self._queued -= 1
+                depth.update(grant_ns, self._queued)
+
+            self.sim._schedule_call(granted, grant_ns - request_ns)
+
+    def execute_fast(self, op: FlashOp, then=None) -> None:
+        """Timeline-schedule one op; only call when :meth:`fast_ok`.
+
+        ``then()`` (if given) runs at the op's completion instant --
+        after the engine's counters update -- with generator-equivalent
+        tie ordering, so callers can chain further reservations (link
+        DMA, batch completions) exactly where the slow path would.
+        """
+        faults = self.faults
+        if faults is NULL_INJECTOR:
+            self._fast_phases(op, then)
+            return
+        stall_ns = faults.delay_ns(
+            STALL, op=op.kind.name.lower(), chip=op.address.chip
+        )
+        if stall_ns > 0:
+            # The generator path sleeps the stall before contending;
+            # defer the reservations to the same instant.
+            self.sim._schedule_call(
+                lambda: self._fast_phases(op, then), stall_ns
+            )
+        else:
+            self._fast_phases(op, then)
+
+    def _fast_phases(self, op: FlashOp, then) -> None:
+        sim = self.sim
+        timing = self.timing
+        plane_tl = self._tl_planes[(op.address.chip, op.address.plane)]
+        request = sim._now
+        kind = op.kind
+
+        cache = self._bus_ns_cache
+        bus_ns = cache.get(op.nbytes)
+        if bus_ns is None:
+            bus_ns = cache[op.nbytes] = timing.bus_transfer_ns(op.nbytes)
+
+        if kind is OpKind.READ:
+
+            def bus_phase():
+                request2 = sim._now
+
+                def read_done():
+                    self.ops_executed.add()
+                    self.wait_ns.add(
+                        (grant1 - request) + (grant2 - request2)
+                    )
+                    if then is not None:
+                        then()
+
+                grant2, _ = self._phase_fast(self._tl_bus, bus_ns, read_done)
+
+            grant1, _ = self._phase_fast(plane_tl, timing.t_read_ns, bus_phase)
+        elif kind is OpKind.PROGRAM:
+
+            def plane_phase():
+                request2 = sim._now
+
+                def program_done():
+                    self.ops_executed.add()
+                    self.wait_ns.add(
+                        (grant1 - request) + (grant2 - request2)
+                    )
+                    if then is not None:
+                        then()
+
+                grant2, _ = self._phase_fast(
+                    plane_tl, timing.t_prog_ns, program_done
+                )
+
+            grant1, _ = self._phase_fast(self._tl_bus, bus_ns, plane_phase)
+        elif kind is OpKind.ERASE:
+
+            def erase_done():
+                self.ops_executed.add()
+                self.wait_ns.add(grant1 - request)
+                if then is not None:
+                    then()
+
+            grant1, _ = self._phase_fast(
+                plane_tl, timing.t_erase_ns, erase_done
+            )
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown op kind {kind}")
 
     # -- single-op execution -------------------------------------------------------
     def execute(self, op: FlashOp):
@@ -144,7 +413,11 @@ class ChannelEngine:
                 f"op for channel {op.address.channel} sent to engine "
                 f"{self.channel}"
             )
-        if self.qos is None:
+        if self.fast_ok():
+            done = Event(self.sim)
+            self.execute_fast(op, done.succeed)
+            yield done
+        elif self.qos is None:
             yield from self._execute(op)
         else:
             yield from self.qos.admitted(self._execute(op))
@@ -202,9 +475,45 @@ class ChannelEngine:
         Plane and bus resources serialize exactly where the hardware
         would; everything else overlaps.
         """
+        # Pre-materialize: a generator argument would be consumed while
+        # scheduling, leaving a retry/re-submission silently empty.
+        ops = list(ops)
         processes = [self.sim.process(self.execute(op)) for op in ops]
         if processes:
             yield AllOf(self.sim, processes)
+
+    def execute_batch(self, ops: Iterable[FlashOp]):
+        """Generator: run ops concurrently behind ONE completion event.
+
+        The batch is coalesced per (chip, plane) on the reservation
+        timelines: each op costs a phase-boundary callback per phase
+        instead of a full process, and the whole batch completes through
+        a single shared event.  Falls back to :meth:`execute_all`
+        (identical semantics, one process per op) whenever the fast
+        path is ineligible.
+        """
+        ops = list(ops)
+        if not ops:
+            return
+        if not self.fast_ok():
+            yield from self.execute_all(ops)
+            return
+        done = Event(self.sim)
+        remaining = [len(ops)]
+
+        def one_done():
+            remaining[0] -= 1
+            if not remaining[0]:
+                done.succeed()
+
+        for op in ops:
+            if op.address.channel != self.channel:
+                raise ValueError(
+                    f"op for channel {op.address.channel} sent to engine "
+                    f"{self.channel}"
+                )
+            self.execute_fast(op, one_done)
+        yield done
 
     def execute_sequential(self, ops: Iterable[FlashOp]):
         """Generator: run ops strictly one after another."""
@@ -219,11 +528,13 @@ def build_engines(
     timing: NandTiming,
     chips_per_channel: int = 2,
     priorities: Optional[Dict[OpKind, int]] = None,
+    mode: Optional[str] = None,
 ) -> List[ChannelEngine]:
     """One engine per channel, sharing nothing."""
     return [
         ChannelEngine(
-            sim, channel, geometry, timing, chips_per_channel, priorities
+            sim, channel, geometry, timing, chips_per_channel, priorities,
+            mode=mode,
         )
         for channel in range(n_channels)
     ]

@@ -437,13 +437,14 @@ class StorageServer:
                     parts = split_patch(
                         merged, self.storage.patch_capacity_bytes
                     )
-                    new_handles = []
+                    # One batched store: the output parts land on
+                    # distinct channels concurrently instead of
+                    # serializing the merge tail.
+                    new_handles = yield from self.storage.store_patches(parts)
                     for part in parts:
-                        handle = yield from self.storage.store_patch(part)
                         self.compaction_write_meter.record(
                             self.sim.now, part.nbytes
                         )
-                        new_handles.append(handle)
                     freed = slice_.lsm.apply_compaction(
                         task, parts, new_handles
                     )

@@ -47,6 +47,25 @@ class SDFNodeStorage:
         yield from self.block_layer.write(handle, pages)
         return handle
 
+    def store_patches(self, patches):
+        """Generator -> list of handles, persisting patches concurrently.
+
+        One block-layer ``write_batch``: the writes land on distinct
+        channels (round-robin placement) and overlap, which is what the
+        compaction output fan-out wants.
+        """
+        patches = list(patches)
+        for patch in patches:
+            if patch.nbytes > self.patch_capacity_bytes:
+                raise ValueError("patch exceeds the 8 MB write unit")
+        handles = [self.block_layer.allocate_id() for _ in patches]
+        items = [
+            (handle, [patch] * self.block_layer.pages_per_block)
+            for handle, patch in zip(handles, patches)
+        ]
+        yield from self.block_layer.write_batch(items)
+        return handles
+
     def read_value(self, lookup: Lookup, key):
         """Generator -> value, reading only the pages covering it."""
         nbytes = max(lookup.size, 1)
@@ -121,6 +140,17 @@ class ConventionalNodeStorage:
         lpn = self._free_extents.popleft()
         yield from self.device.write(lpn, self.pages_per_patch, data=patch)
         return lpn
+
+    def store_patches(self, patches):
+        """Generator -> list of handles, persisting patches concurrently."""
+        patches = list(patches)
+        processes = [
+            self.sim.process(self.store_patch(patch)) for patch in patches
+        ]
+        if not processes:
+            return []
+        results = yield self.sim.all_of(processes)
+        return results
 
     def read_value(self, lookup: Lookup, key):
         """Generator: fetch one value with a single device read."""

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.scheduler import ErasePolicy, PlacementPolicy, RoundRobinPlacement
 from repro.devices.sdf import SDFDevice
-from repro.sim import Store
+from repro.sim import AllOf, Store
 
 
 @dataclass(frozen=True)
@@ -191,6 +191,25 @@ class UserSpaceBlockLayer:
                     channel=channel_index,
                     rewrite=rewrite,
                 )
+
+    def write_batch(self, items: Sequence):
+        """Store several blocks concurrently; finish when all land.
+
+        ``items`` is a sequence of ``(block_id, data)`` pairs.  Each
+        write follows the exact single-write path (placement, QoS slot,
+        erase-on-rewrite), but they overlap in time the way independent
+        writers would -- this is the flush/compaction batching hook.
+        Returns the number of blocks written.
+        """
+        items = list(items)
+        if not items:
+            return 0
+        processes = [
+            self.sim.process(self.write(block_id, data))
+            for block_id, data in items
+        ]
+        yield AllOf(self.sim, processes)
+        return len(items)
 
     def read(self, block_id: int, offset: int = 0, nbytes: Optional[int] = None):
         """Read ``nbytes`` starting at ``offset`` within the block.

@@ -122,8 +122,9 @@ def build_conventional(
     spec: ConventionalSSDSpec = HUAWEI_GEN3_SPEC,
     capacity_scale: float = 1.0,
     store_data: bool = False,
+    mode: Optional[str] = None,
 ) -> ConventionalSSD:
     """A commodity baseline, optionally with scaled-down capacity."""
     if capacity_scale != 1.0:
         spec = spec.scaled(capacity_scale)
-    return ConventionalSSD(sim, spec, store_data=store_data)
+    return ConventionalSSD(sim, spec, store_data=store_data, mode=mode)

@@ -79,6 +79,7 @@ class ConventionalSSD:
         sim: Simulator,
         spec: ConventionalSSDSpec,
         store_data: bool = False,
+        mode: Optional[str] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -101,6 +102,7 @@ class ConventionalSSD:
             spec.geometry,
             spec.timing,
             spec.chips_per_channel,
+            mode=mode,
         )
         self.link = HostLink(sim, spec.link)
         self.controller = Resource(sim, capacity=1)
@@ -239,14 +241,19 @@ class ConventionalSSD:
             yield self._buffer.get(self.page_size)
 
     def _execute_ops(self, ops: List[FlashOp]):
-        """Run a batch of physical ops, grouped per channel, in parallel."""
+        """Run a batch of physical ops, grouped per channel, in parallel.
+
+        Each per-channel group goes through ``execute_batch``: one
+        completion event per channel on the timeline fast path, the
+        process-per-op generator path otherwise.
+        """
         if not ops:
             return
         by_channel: dict = {}
         for op in ops:
             by_channel.setdefault(op.channel, []).append(op)
         processes = [
-            self.sim.process(self.engines[channel].execute_all(channel_ops))
+            self.sim.process(self.engines[channel].execute_batch(channel_ops))
             for channel, channel_ops in by_channel.items()
         ]
         yield AllOf(self.sim, processes)

@@ -36,7 +36,7 @@ from repro.nand.array import FlashArray
 from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
-from repro.sim import AllOf, Container, Simulator
+from repro.sim import AllOf, Container, Event, Simulator
 
 
 class SDFChannelDevice:
@@ -70,6 +70,9 @@ class SDFChannelDevice:
         return self.device.array.geometry.page_size
 
     # -- timed operations (generators) ----------------------------------------------
+    #: Pages the DDR3 staging buffer holds ahead of the flash programs.
+    WRITE_WINDOW_PAGES = 16
+
     def read(self, logical_block: int, page_offset: int = 0, n_pages: int = 1):
         """Read ``n_pages`` 8 KB pages; returns the list of payloads.
 
@@ -77,6 +80,11 @@ class SDFChannelDevice:
         (the board's DDR3 staging buffers decouple the two), so the DMA
         overlaps the flash reads instead of trailing them.
         """
+        if self.device.fast_path_ok():
+            return self._read_fast(logical_block, page_offset, n_pages)
+        return self._read_gen(logical_block, page_offset, n_pages)
+
+    def _read_gen(self, logical_block: int, page_offset: int, n_pages: int):
         device = self.device
         sim = device.sim
         start = sim.now
@@ -97,12 +105,54 @@ class SDFChannelDevice:
         device.stats.note_read(sim.now, nbytes, sim.now - start)
         return payloads
 
+    def _read_fast(self, logical_block: int, page_offset: int, n_pages: int):
+        """Timeline-scheduled read: per page, one engine chain plus one
+        link-DMA completion callback instead of a process."""
+        device = self.device
+        sim = device.sim
+        engine = self.engine
+        link = device.link
+        start = sim.now
+        yield sim.timeout(device.iostack.submit_ns)
+        payloads, ops = self.ftl.read(logical_block, page_offset, n_pages)
+        if ops:
+            page_size = self.page_size
+            meter = link.read_meter
+            done = Event(sim)
+            remaining = [len(ops)]
+
+            def landed():
+                # One page's DMA finished (the slow path's meter.record
+                # at transfer end, then worker completion).
+                meter.record(sim.now, page_size)
+                remaining[0] -= 1
+                if not remaining[0]:
+                    done.succeed()
+
+            def stream():
+                # Runs at one op's bus-phase end: start its DMA.
+                link.reserve_call("read", page_size, landed)
+
+            for op in ops:
+                engine.execute_fast(op, stream)
+            yield done
+        nbytes = n_pages * self.page_size
+        yield sim.timeout(device.interrupts.on_completion())
+        yield sim.timeout(device.iostack.complete_ns)
+        device.stats.note_read(sim.now, nbytes, sim.now - start)
+        return payloads
+
     def write(self, logical_block: int, pages: Optional[Sequence] = None):
         """Write one full 8 MB logical block.
 
         ``pages`` must supply every page payload (or None for a sized
         placeholder write, the common case in performance runs).
         """
+        if self.device.fast_path_ok():
+            return self._write_fast(logical_block, pages)
+        return self._write_gen(logical_block, pages)
+
+    def _write_gen(self, logical_block: int, pages: Optional[Sequence]):
         device = self.device
         sim = device.sim
         start = sim.now
@@ -115,7 +165,8 @@ class SDFChannelDevice:
         # Bounded streaming window: the DDR3 staging buffer holds a few
         # pages ahead of the flash programs, so one request cannot hog
         # the PCIe link far in advance of what its planes can absorb.
-        window = Container(sim, capacity=16, init=16)
+        window = Container(sim, capacity=self.WRITE_WINDOW_PAGES,
+                           init=self.WRITE_WINDOW_PAGES)
 
         def page_write(op):
             yield window.get(1)
@@ -129,6 +180,55 @@ class SDFChannelDevice:
         yield sim.timeout(device.iostack.complete_ns)
         device.stats.note_write(sim.now, nbytes, sim.now - start)
 
+    def _write_fast(self, logical_block: int, pages: Optional[Sequence]):
+        """Timeline-scheduled write with the same bounded streaming
+        window: page ``i`` starts its host DMA when the ``i - 16``-th
+        program completes, exactly like the Container-gated slow path."""
+        device = self.device
+        sim = device.sim
+        engine = self.engine
+        link = device.link
+        start = sim.now
+        if pages is None:
+            pages = [None] * self.pages_per_logical_block
+        yield sim.timeout(device.iostack.submit_ns)
+        nbytes = len(pages) * self.page_size
+        ops = self.ftl.write(logical_block, pages)
+        page_size = self.page_size
+        meter = link.write_meter
+        done = Event(sim)
+        n_ops = len(ops)
+        state = {"remaining": n_ops, "next": self.WRITE_WINDOW_PAGES}
+
+        def start_page(op):
+            def to_flash():
+                # DMA landed in the staging buffer; contend for the
+                # channel (bus then plane program).
+                meter.record(sim.now, page_size)
+                engine.execute_fast(op, programmed)
+
+            link.reserve_call("write", page_size, to_flash)
+
+        def programmed():
+            # One program finished: free a window slot (admitting the
+            # next waiting page at this exact instant, FIFO) and count
+            # down the batch.
+            index = state["next"]
+            if index < n_ops:
+                state["next"] = index + 1
+                start_page(ops[index])
+            state["remaining"] -= 1
+            if not state["remaining"]:
+                done.succeed()
+
+        for op in ops[: self.WRITE_WINDOW_PAGES]:
+            start_page(op)
+        if n_ops:
+            yield done
+        yield sim.timeout(device.interrupts.on_completion())
+        yield sim.timeout(device.iostack.complete_ns)
+        device.stats.note_write(sim.now, nbytes, sim.now - start)
+
     def erase(self, logical_block: int):
         """The explicit erase command (S2.3)."""
         device = self.device
@@ -136,7 +236,7 @@ class SDFChannelDevice:
         start = sim.now
         yield sim.timeout(device.iostack.submit_ns)
         ops = self.ftl.erase(logical_block)
-        yield from self.engine.execute_all(ops)
+        yield from self.engine.execute_batch(ops)
         yield sim.timeout(device.interrupts.on_completion())
         yield sim.timeout(device.iostack.complete_ns)
         device.stats.note_erase(sim.now, sim.now - start)
@@ -169,6 +269,7 @@ class SDFDevice:
         factory_bad_rate: float = 0.0,
         endurance: Optional[int] = None,
         name: str = "sdf",
+        mode: Optional[str] = None,
     ):
         self.sim = sim
         self.array = FlashArray(
@@ -185,7 +286,8 @@ class SDFDevice:
             for channel in range(n_channels)
         ]
         self.engines = build_engines(
-            sim, n_channels, geometry, timing, chips_per_channel, priorities
+            sim, n_channels, geometry, timing, chips_per_channel, priorities,
+            mode=mode,
         )
         self.link = HostLink(sim, link_spec)
         self.iostack = iostack
@@ -194,6 +296,17 @@ class SDFDevice:
         self.channels: List[SDFChannelDevice] = [
             SDFChannelDevice(self, channel) for channel in range(n_channels)
         ]
+
+    def fast_path_ok(self) -> bool:
+        """True when requests may use the timeline-scheduled fast path.
+
+        Checked per request so tests may flip tracing/faults/QoS on at
+        any point; all gating state is attach-time configuration, so in
+        practice a run is entirely fast or entirely generator-driven.
+        """
+        if not self.link.fast_ok(self.array.geometry.page_size):
+            return False
+        return all(engine.fast_ok() for engine in self.engines)
 
     @property
     def n_channels(self) -> int:

@@ -51,6 +51,8 @@ class BCHCode:
             raise ValueError(
                 f"BCH(m={m}, t={t}) has no data capacity (k={self.k})"
             )
+        #: Scratch buffer reused across :meth:`syndromes` calls.
+        self._synd_buf: List[int] = [0] * (2 * t)
 
     def _build_generator(self) -> List[int]:
         """g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}."""
@@ -119,16 +121,22 @@ class BCHCode:
         return list(codeword[self.parity_bits :])
 
     # -- decoding ------------------------------------------------------------------
-    def syndromes(self, received: Sequence[int]) -> List[int]:
-        """S_j = r(alpha^j) for j = 1 .. 2t."""
+    def syndromes(self, received: Sequence[int], out: List[int] | None = None) -> List[int]:
+        """S_j = r(alpha^j) for j = 1 .. 2t.
+
+        Returns a per-code scratch buffer (overwritten by the next call)
+        unless ``out`` supplies a 2t-entry destination; copy the result
+        to keep it across calls.
+        """
         gf = self.field
-        result = []
+        exp = gf.exp
+        result = self._synd_buf if out is None else out
         for j in range(1, 2 * self.t + 1):
             value = 0
             for position, bit in enumerate(received):
                 if bit:
-                    value ^= gf.exp(j * position)
-            result.append(value)
+                    value ^= exp(j * position)
+            result[j - 1] = value
         return result
 
     def _berlekamp_massey(self, synd: List[int]) -> List[int]:

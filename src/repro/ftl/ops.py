@@ -21,7 +21,7 @@ class OpKind(Enum):
     ERASE = "erase"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlashOp:
     """One physical flash operation."""
 

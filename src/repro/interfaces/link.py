@@ -16,6 +16,7 @@ from repro.faults.errors import TransientFault
 from repro.faults.injector import DELAY, DROP, NULL_INJECTOR
 from repro.sim import Resource, Simulator
 from repro.sim.stats import ThroughputMeter
+from repro.sim.timeline import ResourceTimeline
 from repro.sim.units import KIB, transfer_ns
 
 
@@ -64,8 +65,17 @@ class HostLink:
         self._write_lane = (
             Resource(sim, capacity=1) if spec.full_duplex else self._read_lane
         )
+        #: Timeline mirrors of the lanes, used by device fast paths.
+        #: A device must use either the resources or the timelines for a
+        #: whole run, never both (they would double-book the lane).
+        self._tl_read = ResourceTimeline()
+        self._tl_write = (
+            ResourceTimeline() if spec.full_duplex else self._tl_read
+        )
         self.read_meter = ThroughputMeter(f"{spec.name}.read")
         self.write_meter = ThroughputMeter(f"{spec.name}.write")
+        #: Memoized single-chunk transfer cost per (direction, nbytes).
+        self._cost_cache: dict = {}
         #: Fault-injection handle (``drop``/``delay``);
         #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
         self.faults = NULL_INJECTOR
@@ -102,7 +112,44 @@ class HostLink:
                 cost = transfer_ns(chunk, rate)
                 if first:
                     cost += self.spec.per_transfer_overhead_ns
-                yield self.sim.timeout(cost)
+                yield self.sim.hold(cost)
             remaining -= chunk
             first = False
         meter.record(self.sim.now, nbytes)
+
+    def fast_ok(self, nbytes: int) -> bool:
+        """True when :meth:`reserve` is exact for an ``nbytes`` transfer.
+
+        The timeline reservation models one uninterrupted lane hold, so
+        it is only equivalent to :meth:`transfer` for single-chunk
+        transfers (one 8 KB page easily fits the 128 KB chunk) with no
+        link fault rules wired (drops/delays need the generator path).
+        """
+        return nbytes <= self.spec.chunk_bytes and self.faults is NULL_INJECTOR
+
+    def reserve_call(self, direction: str, nbytes: int, fn):
+        """Timeline-reserve a single-chunk transfer at sim-now; ``fn``
+        runs at the DMA's end instant.
+
+        Returns ``(grant_ns, end_ns)``.  The caller is responsible for
+        recording the direction's throughput meter inside ``fn``
+        (mirroring :meth:`transfer`, which records at completion) and
+        must only use this while :meth:`fast_ok` holds.
+        """
+        key = (direction, nbytes)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            if direction == "read":
+                rate = self.spec.read_mb_per_s
+            elif direction == "write":
+                rate = self.spec.write_mb_per_s
+            else:
+                raise ValueError(
+                    f"direction must be 'read' or 'write', not {direction!r}"
+                )
+            cost = (
+                transfer_ns(nbytes, rate) + self.spec.per_transfer_overhead_ns
+            )
+            cached = self._cost_cache[key] = cost
+        timeline = self._tl_read if direction == "read" else self._tl_write
+        return timeline.reserve_and_call(self.sim, cached, fn)

@@ -18,7 +18,7 @@ from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysicalAddress:
     """A fully-resolved flash location."""
 

@@ -144,7 +144,10 @@ class Block:
         """Payload of a programmed page; ``None`` for an erased page."""
         if self._bad:
             raise WearOutError(f"read from bad block {self.index}")
-        return self.page(page_index).data
+        self._check_page_index(page_index)
+        if page_index < self._write_ptr:
+            return self._data.get(page_index)
+        return None
 
     def program(self, page_index: int, data) -> None:
         """Program the block's next sequential page."""
@@ -275,7 +278,9 @@ class FlashChip:
         injects a beyond-BCH read failure.
         """
         self.reads += 1
-        data = self.block(plane_index, block_index).read(page_index)
+        data = self.planes[plane_index].block(block_index).read(page_index)
+        if self.faults is NULL_INJECTOR:
+            return data
         if (
             self.faults.fires(
                 READ_UNCORRECTABLE,
@@ -302,7 +307,10 @@ class FlashChip:
         FTL to remap.
         """
         self.programs += 1
-        block = self.block(plane_index, block_index)
+        block = self.planes[plane_index].block(block_index)
+        if self.faults is NULL_INJECTOR:
+            block.program(page_index, data)
+            return
         if (
             self.faults.fires(
                 PROGRAM_FAIL,

@@ -63,7 +63,8 @@ def attach_device(obs: Observability, device) -> None:
             lambda now, e=engine: e.utilization(now),
         )
         registry.register_callback(
-            f"channel{channel}.busy_ns", lambda now, e=engine: e.busy_ns.value
+            f"channel{channel}.busy_ns",
+            lambda now, e=engine: e.busy_value(now),
         )
         registry.register_callback(
             f"channel{channel}.wait_ns", lambda now, e=engine: e.wait_ns.value

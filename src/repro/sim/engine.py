@@ -10,12 +10,16 @@ from __future__ import annotations
 import heapq
 from typing import Generator, Iterable, Optional
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, PooledTimeout, Timeout
 from repro.sim.process import Process
 
 
 class _Call(Event):
-    """Internal event that invokes a plain callable when processed."""
+    """Internal event that invokes a plain callable when processed.
+
+    Instances are recycled through the owning simulator's free list:
+    nothing may keep a reference to a ``_Call`` past its instant.
+    """
 
     __slots__ = ("_fn",)
 
@@ -27,7 +31,64 @@ class _Call(Event):
 
     def _process(self) -> None:
         self._processed = True
-        self._fn()
+        fn = self._fn
+        self._fn = None
+        pool = self.sim._call_pool
+        if len(pool) < 1024:
+            pool.append(self)
+        fn()
+
+
+class _PhaseEnd(Event):
+    """End-of-service event for one timeline reservation (fast path).
+
+    Runs ``fn`` at the reservation's end instant, then schedules every
+    chained successor reservation's own ``_PhaseEnd`` (the ``hooks``
+    list, appended to by :meth:`ResourceTimeline.reserve_and_call` when
+    a later reservation queues behind this one).  Folding the chain
+    drain into ``_process`` saves one closure and one ``_Call`` per
+    phase relative to wrapping the same logic in a plain callback.
+
+    Instances are recycled through ``sim._phase_pool``: nothing may keep
+    a reference to one past its instant.
+    """
+
+    __slots__ = ("_fn", "_hooks")
+
+    def __init__(self, sim: "Simulator", fn, hooks):
+        super().__init__(sim)
+        self._fn = fn
+        self._hooks = hooks
+        self._ok = True
+        self._value = None
+
+    def _process(self) -> None:
+        self._processed = True
+        fn = self._fn
+        hooks = self._hooks
+        self._fn = None
+        self._hooks = None
+        sim = self.sim
+        pool = sim._phase_pool
+        if len(pool) < 1024:
+            pool.append(self)
+        fn()
+        if hooks:
+            # Successors queued behind this reservation: materialize
+            # their end events only now, so at most heap-resident phase
+            # events exist at once and the pool almost always hits.
+            now = sim._now
+            heap = sim._heap
+            for h_fn, h_hooks, h_delay in hooks:
+                if pool:
+                    event = pool.pop()
+                    event._processed = False
+                    event._fn = h_fn
+                    event._hooks = h_hooks
+                else:
+                    event = _PhaseEnd(sim, h_fn, h_hooks)
+                sim._seq += 1
+                heapq.heappush(heap, (now + h_delay, sim._seq, event))
 
 
 class EmptySchedule(Exception):
@@ -36,6 +97,11 @@ class EmptySchedule(Exception):
 
 class Simulator:
     """Discrete-event simulator with an integer-nanosecond clock."""
+
+    __slots__ = (
+        "_now", "_heap", "_seq", "obs",
+        "_call_pool", "_timeout_pool", "_phase_pool",
+    )
 
     def __init__(self):
         self._now: int = 0
@@ -46,6 +112,10 @@ class Simulator:
         #: reference to this simulator).  ``None`` -- the default --
         #: keeps every instrumentation site a single attribute check.
         self.obs = None
+        #: Free lists recycling the internal fire-and-forget events.
+        self._call_pool: list = []
+        self._timeout_pool: list = []
+        self._phase_pool: list = []
 
     # -- clock -----------------------------------------------------------------
     @property
@@ -61,7 +131,28 @@ class Simulator:
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
     def _schedule_call(self, fn, delay: int = 0) -> None:
-        self._schedule(_Call(self, fn), delay)
+        pool = self._call_pool
+        if pool:
+            call = pool.pop()
+            call._processed = False
+            call._fn = fn
+        else:
+            call = _Call(self, fn)
+        # _schedule inlined: delays here are computed from reservation
+        # arithmetic and are never negative.
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, call))
+
+    def _phase_event(self, fn, hooks) -> _PhaseEnd:
+        """A pooled :class:`_PhaseEnd` ready to be heap-scheduled."""
+        pool = self._phase_pool
+        if pool:
+            event = pool.pop()
+            event._processed = False
+            event._fn = fn
+            event._hooks = hooks
+            return event
+        return _PhaseEnd(self, fn, hooks)
 
     # -- public factory helpers ---------------------------------------------------
     def event(self) -> Event:
@@ -71,6 +162,26 @@ class Simulator:
     def timeout(self, delay: int, value=None) -> Timeout:
         """An event that fires ``delay`` ns from now."""
         return Timeout(self, delay, value)
+
+    def hold(self, delay: int, value=None) -> Timeout:
+        """A pooled timeout for fire-and-forget waits on hot paths.
+
+        Semantically identical to :meth:`timeout`, but the event object
+        is recycled once processed.  Only yield it directly from a
+        process and drop it; never store it, pass it to ``AllOf`` /
+        ``AnyOf``, or ``run(until=...)`` on it.
+        """
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay}")
+            event._processed = False
+            event._value = value
+            event.delay = delay
+            self._schedule(event, delay)
+            return event
+        return PooledTimeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
         """Launch ``generator`` as a concurrent process."""
@@ -107,20 +218,26 @@ class Simulator:
         * an :class:`Event` -- run until that event is processed, returning
           its value (or raising its failure exception).
         """
+        heap = self._heap
+        pop = heapq.heappop
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _, event = pop(heap)
+                self._now = when
+                event._process()
             return None
 
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
+            while not stop._processed:
+                if not heap:
                     raise RuntimeError(
                         "simulation ran out of events before the awaited "
                         f"event {stop!r} was triggered (deadlock?)"
                     )
-                self.step()
+                when, _, event = pop(heap)
+                self._now = when
+                event._process()
             if not stop.ok:
                 stop.defused = True
                 raise stop.value
@@ -129,7 +246,9 @@ class Simulator:
         deadline = int(until)
         if deadline < self._now:
             raise ValueError(f"cannot run until {deadline} < now={self._now}")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            when, _, event = pop(heap)
+            self._now = when
+            event._process()
         self._now = deadline
         return None

@@ -143,6 +143,26 @@ class Timeout(Event):
         sim._schedule(self, delay)
 
 
+class PooledTimeout(Timeout):
+    """A :class:`Timeout` recycled through the simulator's free list.
+
+    Returned by :meth:`repro.sim.engine.Simulator.hold`.  After its
+    callbacks run the instance goes back to the pool for reuse, so it
+    must never be referenced past the instant it is processed: yield it
+    from exactly one process (or attach ephemeral callbacks) and drop
+    it.  Composite conditions (``AllOf``/``AnyOf``) and
+    ``run(until=...)`` keep references and must use plain timeouts.
+    """
+
+    __slots__ = ()
+
+    def _process(self) -> None:
+        super()._process()
+        pool = self.sim._timeout_pool
+        if len(pool) < 1024:
+            pool.append(self)
+
+
 class Condition(Event):
     """Composite event over several sub-events (base for AllOf/AnyOf)."""
 

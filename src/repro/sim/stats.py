@@ -52,6 +52,11 @@ class ThroughputMeter:
         self._samples.append((time_ns, nbytes))
 
     @property
+    def samples(self) -> List:
+        """Copy of the raw ``(time_ns, nbytes)`` samples."""
+        return list(self._samples)
+
+    @property
     def total_bytes(self) -> int:
         """Sum of all recorded byte counts."""
         return sum(nbytes for _, nbytes in self._samples)

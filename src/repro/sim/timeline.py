@@ -1,0 +1,183 @@
+"""Analytic reservation timelines for the fast scheduling path.
+
+The generator scheduling path models every contended resource as a
+:class:`~repro.sim.resources.Resource` and spends one process
+suspension per acquire/hold/release.  For capacity-1 FIFO resources with
+uniform priorities the same schedule can be computed *analytically*: a
+resource is a single "next free" timestamp, a request made at ``now``
+is granted at ``max(now, free_at)`` and the end of service is
+``grant + duration``.  :class:`ResourceTimeline` is that timestamp;
+:class:`BusyUnion` reproduces the generator path's merged busy-time
+accounting.
+
+Equivalence rules (the contract the no-drift suite enforces):
+
+* requests must be reserved at the simulated instant they would have
+  been issued on the slow path -- so multi-phase ops schedule a
+  callback at each phase boundary instead of reserving the whole chain
+  up front;
+* same-instant requests must be reserved in the same order the slow
+  path's processes would issue them (creation order);
+* anything ordering-sensitive that happens at a phase's *end* must be
+  scheduled from its *grant* instant.  The slow path grants a queued
+  waiter inside the previous holder's release (its service-timeout
+  event), so :meth:`ResourceTimeline.reserve_and_call` chains a queued
+  phase's end event off its predecessor's end event -- same instant,
+  same intra-instant position, and no extra relay event.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class ResourceTimeline:
+    """Next-free timestamp of one capacity-1 FIFO resource."""
+
+    __slots__ = ("free_at", "_tail_hooks")
+
+    def __init__(self, free_at: int = 0):
+        self.free_at = free_at
+        #: ``(fn, hooks, delay)`` triples chained off the *most recent*
+        #: reservation made through :meth:`reserve_and_call` -- drained
+        #: by its ``_PhaseEnd`` at the end instant; ``None`` after a
+        #: plain :meth:`reserve` (no end event exists to chain from).
+        self._tail_hooks = None
+
+    def reserve(self, request_ns: int, duration_ns: int):
+        """Reserve ``duration_ns`` of service requested at ``request_ns``.
+
+        Returns ``(grant_ns, end_ns)`` and advances the timeline.  The
+        caller must only reserve at the current simulated instant and in
+        slow-path request order for the schedule to be equivalent.
+        """
+        free = self.free_at
+        grant = free if free > request_ns else request_ns
+        end = grant + duration_ns
+        self.free_at = end
+        self._tail_hooks = None
+        return grant, end
+
+    def reserve_and_call(self, sim, duration_ns: int, fn):
+        """Reserve at sim-now and run ``fn()`` at the end instant.
+
+        Returns ``(grant_ns, end_ns)``.  An immediately granted phase
+        schedules its end event now (the slow path schedules the service
+        timeout at the grant, which is now).  A queued phase's grant is
+        its predecessor's end, so its end event is scheduled from inside
+        the predecessor's end callback -- exactly where the slow path's
+        release-then-grant happens -- after the predecessor's own work.
+        """
+        now = sim._now
+        free = self.free_at
+        grant = free if free > now else now
+        end = grant + duration_ns
+        self.free_at = end
+        hooks = []
+        if grant <= now:
+            sim._schedule(sim._phase_event(fn, hooks), end - now)
+        else:
+            tail = self._tail_hooks
+            if tail is None:
+                # Predecessor made through plain reserve(): no end event
+                # to chain from, fall back to a relay at the grant.
+                delay = end - grant
+                sim._schedule_call(
+                    lambda: sim._schedule(sim._phase_event(fn, hooks), delay),
+                    grant - now,
+                )
+            else:
+                tail.append((fn, hooks, end - grant))
+        self._tail_hooks = hooks
+        return grant, end
+
+    def __repr__(self):
+        return f"ResourceTimeline(free_at={self.free_at})"
+
+
+class BusyUnion:
+    """Union of service intervals, matching the slow path's busy counter.
+
+    The generator path counts channel busy time with an in-service
+    counter: an interval is *closed* (added to the busy counter) when
+    the last concurrent op finishes service, even if service resumes at
+    the same instant.  We replicate that exactly: intervals are merged
+    only when they **overlap** (``begin < end``); merely touching
+    intervals stay separate so the counter's closure instants match.
+    """
+
+    __slots__ = ("_closed", "_pending", "_head", "_raw")
+
+    def __init__(self):
+        #: Total length of intervals whose end has passed the last query.
+        self._closed = 0
+        #: Merged intervals as [begin, end) lists, sorted by begin;
+        #: entries before ``_head`` are already folded into ``_closed``.
+        self._pending: list = []
+        self._head = 0
+        #: Unmerged intervals appended since the last query; folding is
+        #: deferred so the reservation hot path is a single append.
+        self._raw: list = []
+
+    def add(self, begin: int, end: int) -> None:
+        """Record one service interval (begin < end, begin >= now)."""
+        if end > begin:
+            self._raw.append([begin, end])
+
+    def _fold(self) -> None:
+        raw = self._raw
+        if not raw:
+            return
+        items = self._pending[self._head :]
+        items.extend(raw)
+        raw.clear()
+        items.sort()
+        merged: list = []
+        for interval in items:
+            if merged and interval[0] < merged[-1][1]:
+                # Strictly overlaps the growing interval: extend it.
+                if interval[1] > merged[-1][1]:
+                    merged[-1][1] = interval[1]
+            else:
+                merged.append(interval)
+        self._pending = merged
+        self._head = 0
+
+    def closed_through(self, now_ns: int) -> int:
+        """Busy time of intervals fully finished by ``now_ns``.
+
+        Matches the slow path's ``busy_ns`` counter value at ``now_ns``.
+        Queries must be (weakly) monotonic in time, which holds for any
+        live simulation observer.
+        """
+        self._fold()
+        pending = self._pending
+        head = self._head
+        while head < len(pending) and pending[head][1] <= now_ns:
+            begin, end = pending[head]
+            self._closed += end - begin
+            head += 1
+        if head != self._head:
+            if head > 64:
+                del pending[:head]
+                head = 0
+            self._head = head
+        return self._closed
+
+    def busy_through(self, now_ns: int) -> int:
+        """Closed busy time plus the elapsed part of an open interval.
+
+        Matches the slow path's ``utilization`` numerator at ``now_ns``.
+        """
+        total = self.closed_through(now_ns)
+        pending = self._pending
+        head = self._head
+        if head < len(pending) and pending[head][0] < now_ns:
+            total += now_ns - pending[head][0]
+        return total
+
+    def __repr__(self):
+        return (
+            f"BusyUnion(closed={self._closed}, "
+            f"pending={len(self._pending) - self._head + len(self._raw)})"
+        )

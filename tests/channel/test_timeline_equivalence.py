@@ -1,0 +1,379 @@
+"""No-drift suite for the timeline-reservation fast path.
+
+The fast scheduling path (``mode="timeline"``) must produce *byte
+identical* results to the generator path: same end-of-run clock, same
+throughput-meter samples at the same instants, same latency samples,
+same per-engine op/wait/busy accounting, same NAND wear -- across
+seeds, workloads, device families, and with fault/QoS planes active.
+Whenever equivalence cannot be guaranteed the device must *fall back*
+to the generator path rather than drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import build_conventional, build_sdf
+from repro.faults import FaultPlan, attach_device_faults
+from repro.ftl.ops import FlashOp, OpKind
+from repro.nand.array import PhysicalAddress
+from repro.obs import Observability, attach_device
+from repro.qos import ChannelQosConfig, QosPlan, attach_device_qos
+from repro.sim import MIB, MS, Simulator
+from repro.workloads import (
+    drive_conventional_reads,
+    drive_conventional_writes,
+    drive_sdf_reads,
+    drive_sdf_writes,
+)
+
+N_CHANNELS = 4
+SCALE = 0.004
+
+
+def sdf_signature(sim, sdf):
+    """Everything observable about a finished SDF run."""
+    end = sim.now
+    return {
+        "end": end,
+        "link_read": tuple(sdf.link.read_meter.samples),
+        "link_write": tuple(sdf.link.write_meter.samples),
+        "engines": tuple(
+            (
+                engine.ops_executed.value,
+                engine.wait_ns.value,
+                engine.busy_value(end),
+            )
+            for engine in sdf.engines
+        ),
+        "read_latency": tuple(sdf.stats.read_latency.samples),
+        "write_latency": tuple(sdf.stats.write_latency.samples),
+        "erase_latency": tuple(sdf.stats.erase_latency.samples),
+        "wear": (
+            sdf.array.total_reads,
+            sdf.array.total_programs,
+            sdf.array.total_erases,
+        ),
+    }
+
+
+def run_sdf_reads(mode, seed, sequential):
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                    mode=mode)
+    sdf.prefill(1.0)
+    drive_sdf_reads(
+        sim,
+        sdf,
+        request_bytes=2 * MIB,
+        duration_ns=20 * MS,
+        channels=range(N_CHANNELS),
+        sequential=sequential,
+        rng=np.random.default_rng(seed),
+        warmup_ns=0,
+    )
+    return sim, sdf
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("sequential", [True, False])
+def test_sdf_reads_byte_identical(seed, sequential):
+    sim_g, sdf_g = run_sdf_reads("generator", seed, sequential)
+    sim_t, sdf_t = run_sdf_reads("timeline", seed, sequential)
+    assert sdf_t.fast_path_ok()
+    assert sdf_signature(sim_g, sdf_g) == sdf_signature(sim_t, sdf_t)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_sdf_writes_byte_identical(seed):
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        drive_sdf_writes(
+            sim,
+            sdf,
+            duration_ns=40 * MS,
+            channels=range(N_CHANNELS),
+            warmup_ns=0,
+        )
+        return sdf_signature(sim, sdf)
+
+    assert run("generator") == run("timeline")
+
+
+def test_sdf_mixed_ops_byte_identical():
+    """Reads, writes and erases interleaved on overlapping channels."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=2, mode=mode)
+        sdf.prefill(0.5)
+
+        def reader(dev):
+            for _ in range(8):
+                yield from dev.read(0, 0, n_pages=32)
+
+        def writer(dev, block):
+            for _ in range(2):
+                yield from dev.write_fresh(block)
+
+        procs = [
+            sim.process(reader(sdf.channels[0])),
+            sim.process(writer(sdf.channels[0],
+                               sdf.channels[0].n_logical_blocks - 1)),
+            sim.process(reader(sdf.channels[1])),
+            sim.process(writer(sdf.channels[1], 0)),
+        ]
+        sim.run(until=sim.all_of(procs))
+        return sdf_signature(sim, sdf)
+
+    assert run("generator") == run("timeline")
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_stall_faults_stay_fast_and_match(seed):
+    """Channel STALL faults are handled natively by the fast path: the
+    device must NOT fall back, and the schedule (plus the fault log)
+    must stay byte-identical."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        plan = FaultPlan(seed=seed)
+        for channel in range(N_CHANNELS):
+            plan.add(f"ch{channel}", "stall", rate=0.05,
+                     delay_ns=1_000_000)
+        plan.bind_clock(sim)
+        for engine in sdf.engines:
+            engine.faults = plan.injector(f"ch{engine.channel}")
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=20 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return sdf_signature(sim, sdf), tuple(plan.signatures())
+
+    sig_g, faults_g = run("generator")
+    sig_t, faults_t = run("timeline")
+    assert faults_g  # the plan actually fired
+    assert faults_g == faults_t
+    assert sig_g == sig_t
+
+
+def test_full_fault_plan_forces_link_fallback_and_matches():
+    """``attach_device_faults`` wires the link injector, which the fast
+    path cannot model -- the device must fall back to the generator
+    path in timeline mode and still produce identical results."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        plan = FaultPlan(seed=5)
+        plan.add("link", "delay", rate=0.1, delay_ns=50_000)
+        attach_device_faults(plan, sdf)
+        assert not sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return sdf_signature(sim, sdf), tuple(plan.signatures())
+
+    assert run("generator") == run("timeline")
+
+
+def test_qos_plan_forces_generator_fallback_and_matches():
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        plan = QosPlan(channel=ChannelQosConfig(max_inflight_ops=8))
+        attach_device_qos(plan, sdf)
+        assert not sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return sdf_signature(sim, sdf)
+
+    assert run("generator") == run("timeline")
+
+
+def test_tracing_forces_generator_fallback():
+    sim = Simulator()
+    sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                    mode="timeline")
+    assert sdf.fast_path_ok()
+    obs = Observability(trace=True)
+    attach_device(obs, sdf)
+    assert not sdf.fast_path_ok()
+
+
+def test_metrics_only_observability_matches():
+    """Metrics-only observability (no tracing) keeps the fast path on;
+    queue-depth/utilization series must match the generator path."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        obs = Observability()
+        attach_device(obs, sdf)
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return sdf_signature(sim, sdf), obs.metrics.snapshot()
+
+    sig_g, snap_g = run("generator")
+    sig_t, snap_t = run("timeline")
+    assert sig_g == sig_t
+    assert snap_g == snap_t
+
+
+def conventional_signature(sim, device):
+    end = sim.now
+    return {
+        "end": end,
+        "link_read": tuple(device.link.read_meter.samples),
+        "link_write": tuple(device.link.write_meter.samples),
+        "flush": tuple(device.flush_meter.samples),
+        "engines": tuple(
+            (
+                engine.ops_executed.value,
+                engine.wait_ns.value,
+                engine.busy_value(end),
+            )
+            for engine in device.engines
+        ),
+        "read_latency": tuple(device.stats.read_latency.samples),
+        "write_latency": tuple(device.stats.write_latency.samples),
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_conventional_reads_byte_identical(seed):
+    def run(mode):
+        sim = Simulator()
+        device = build_conventional(sim, capacity_scale=0.01, mode=mode)
+        device.prefill(0.2)
+        drive_conventional_reads(
+            sim,
+            device,
+            request_bytes=64 * 1024,
+            duration_ns=10 * MS,
+            queue_depth=8,
+            rng=np.random.default_rng(seed),
+        )
+        return conventional_signature(sim, device)
+
+    assert run("generator") == run("timeline")
+
+
+def test_conventional_writes_byte_identical():
+    def run(mode):
+        sim = Simulator()
+        device = build_conventional(sim, capacity_scale=0.01, mode=mode)
+        drive_conventional_writes(
+            sim,
+            device,
+            request_bytes=128 * 1024,
+            duration_ns=10 * MS,
+            queue_depth=8,
+        )
+        return conventional_signature(sim, device)
+
+    assert run("generator") == run("timeline")
+
+
+def test_execute_batch_matches_execute_all():
+    """The batched fast-path completion event must finish at the same
+    instant, with the same counters, as the process-per-op slow path."""
+    from repro.channel.engine import build_engines
+    from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
+
+    geometry = SDF_CHIP_GEOMETRY.scaled(0.01)
+
+    def ops_soup(n):
+        planes = geometry.planes_per_chip
+        ops = []
+        for index in range(n):
+            address = PhysicalAddress(0, index % 2, index % planes, 0,
+                                      index % 8)
+            kind = (OpKind.READ, OpKind.PROGRAM, OpKind.ERASE)[index % 3]
+            nbytes = geometry.page_size if kind is not OpKind.ERASE else 0
+            ops.append(FlashOp(kind, address, nbytes))
+        return ops
+
+    def run(mode):
+        sim = Simulator()
+        engine = build_engines(sim, 1, geometry, MICRON_25NM_MLC, 2,
+                               mode=mode)[0]
+        done = {}
+
+        def scenario():
+            result = yield from engine.execute_batch(ops_soup(24))
+            done["at"] = sim.now
+            return result
+
+        sim.run(until=sim.process(scenario()))
+        return (
+            done["at"],
+            engine.ops_executed.value,
+            engine.wait_ns.value,
+            engine.busy_value(sim.now),
+        )
+
+    assert run("generator") == run("timeline")
+
+
+def test_mode_validation():
+    from repro.channel.engine import build_engines
+    from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_engines(sim, 1, SDF_CHIP_GEOMETRY.scaled(0.01),
+                      MICRON_25NM_MLC, 2, mode="warp")
+
+
+def test_env_var_selects_mode(monkeypatch):
+    from repro.channel.engine import default_engine_mode
+
+    monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+    assert default_engine_mode() == "auto"
+    monkeypatch.setenv("REPRO_SIM_MODE", "generator")
+    assert default_engine_mode() == "generator"
+    monkeypatch.setenv("REPRO_SIM_MODE", "timeline")
+    assert default_engine_mode() == "timeline"
+    monkeypatch.setenv("REPRO_SIM_MODE", "bogus")
+    with pytest.raises(ValueError):
+        default_engine_mode()

@@ -1,0 +1,152 @@
+"""Unit tests for the fast-path scheduling primitives."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.timeline import BusyUnion, ResourceTimeline
+
+
+class TestResourceTimeline:
+    def test_immediate_grant(self):
+        tl = ResourceTimeline()
+        grant, end = tl.reserve(100, 50)
+        assert (grant, end) == (100, 150)
+        assert tl.free_at == 150
+
+    def test_queued_grant_starts_at_free(self):
+        tl = ResourceTimeline()
+        tl.reserve(100, 50)
+        grant, end = tl.reserve(120, 30)
+        assert (grant, end) == (150, 180)
+
+    def test_idle_gap_grants_at_request(self):
+        tl = ResourceTimeline()
+        tl.reserve(0, 10)
+        grant, end = tl.reserve(500, 10)
+        assert (grant, end) == (500, 510)
+
+    def test_reserve_and_call_fires_at_end(self):
+        sim = Simulator()
+        tl = ResourceTimeline()
+        fired = []
+        tl.reserve_and_call(sim, 50, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [50]
+
+    def test_chained_reservations_fire_in_order(self):
+        sim = Simulator()
+        tl = ResourceTimeline()
+        fired = []
+        # Three same-instant requests on one capacity-1 resource: FIFO
+        # service, back to back, each end callback at its own instant.
+        for index in range(3):
+            tl.reserve_and_call(sim, 10, lambda i=index: fired.append((i, sim.now)))
+        sim.run()
+        assert fired == [(0, 10), (1, 20), (2, 30)]
+
+    def test_callback_may_reserve_further(self):
+        sim = Simulator()
+        tl = ResourceTimeline()
+        fired = []
+
+        def second():
+            fired.append(("second", sim.now))
+
+        def first():
+            fired.append(("first", sim.now))
+            tl.reserve_and_call(sim, 5, second)
+
+        tl.reserve_and_call(sim, 10, first)
+        sim.run()
+        assert fired == [("first", 10), ("second", 15)]
+
+    def test_queued_after_plain_reserve_uses_relay(self):
+        sim = Simulator()
+        tl = ResourceTimeline()
+        fired = []
+        tl.reserve(0, 100)  # no end event to chain from
+        grant, end = tl.reserve_and_call(sim, 10, lambda: fired.append(sim.now))
+        assert (grant, end) == (100, 110)
+        sim.run()
+        assert fired == [110]
+
+
+class TestBusyUnion:
+    def test_disjoint_intervals_sum(self):
+        union = BusyUnion()
+        union.add(0, 10)
+        union.add(20, 30)
+        assert union.closed_through(50) == 20
+
+    def test_touching_intervals_stay_separate_but_sum(self):
+        union = BusyUnion()
+        union.add(0, 10)
+        union.add(10, 20)
+        # Touching (not overlapping) intervals close independently.
+        assert union.closed_through(10) == 10
+        assert union.closed_through(20) == 20
+
+    def test_overlap_merges(self):
+        union = BusyUnion()
+        union.add(0, 10)
+        union.add(5, 15)
+        # Merged interval [0, 15) is still open at t=10.
+        assert union.closed_through(10) == 0
+        assert union.closed_through(15) == 15
+
+    def test_out_of_order_adds_fold_correctly(self):
+        union = BusyUnion()
+        union.add(100, 200)
+        union.add(0, 50)
+        union.add(150, 250)  # overlaps the first
+        assert union.closed_through(99) == 50
+        assert union.closed_through(250) == 200
+
+    def test_busy_through_counts_open_interval(self):
+        union = BusyUnion()
+        union.add(0, 100)
+        assert union.busy_through(40) == 40
+        assert union.busy_through(100) == 100
+
+    def test_contained_interval_absorbed(self):
+        union = BusyUnion()
+        union.add(0, 100)
+        union.add(20, 30)
+        assert union.closed_through(100) == 100
+
+    def test_zero_length_interval_ignored(self):
+        union = BusyUnion()
+        union.add(5, 5)
+        assert union.closed_through(10) == 0
+
+
+class TestPooledEvents:
+    def test_hold_recycles_timeouts(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for _ in range(5):
+                yield sim.hold(10)
+            log.append(sim.now)
+
+        sim.run(until=sim.process(proc()))
+        assert log == [50]
+        assert len(sim._timeout_pool) >= 1
+
+    def test_schedule_call_order_is_fifo_within_instant(self):
+        sim = Simulator()
+        fired = []
+        for index in range(4):
+            sim._schedule_call(lambda i=index: fired.append(i), 10)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_phase_pool_recycles(self):
+        sim = Simulator()
+        tl = ResourceTimeline()
+        for _ in range(50):
+            tl.reserve_and_call(sim, 7, lambda: None)
+        sim.run()
+        assert sim._phase_pool
+        assert len(sim._phase_pool) <= 1024
