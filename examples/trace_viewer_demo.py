@@ -19,7 +19,7 @@ import json
 import sys
 
 from repro import build_sdf_system
-from repro.obs import Observability, attach_system
+from repro.obs import Observability
 from repro.sim.units import MS
 
 
@@ -27,8 +27,7 @@ def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "sdf.trace.json"
 
     obs = Observability(trace=True)
-    system = build_sdf_system(capacity_scale=0.004, n_channels=4)
-    attach_system(obs, system)
+    system = build_sdf_system(capacity_scale=0.004, n_channels=4, obs=obs)
 
     # --- a small mixed workload -------------------------------------------
     payload = b"<html>software-defined flash</html>" * 100

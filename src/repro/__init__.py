@@ -34,10 +34,22 @@ from repro.core.api import (
     build_conventional_ssd,
     build_sdf_system,
 )
+from repro.errors import (
+    ClusterError,
+    PermanentFault,
+    ReproError,
+    TransientFault,
+    WrongEpochError,
+)
 
 __all__ = [
     "__version__",
     "SDFSystem",
     "build_sdf_system",
     "build_conventional_ssd",
+    "ReproError",
+    "TransientFault",
+    "PermanentFault",
+    "ClusterError",
+    "WrongEpochError",
 ]

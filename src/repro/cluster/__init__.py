@@ -14,7 +14,9 @@ commodity SSD.  This is the testbed every production-system experiment
 * :mod:`~repro.cluster.client` -- closed-loop clients (one per slice,
   as in the paper's experiments);
 * :mod:`~repro.cluster.replication` -- the system-level replication that
-  replaces on-device parity (S2.2).
+  replaces on-device parity (S2.2);
+* :mod:`~repro.cluster.control` -- the control plane: versioned
+  routing, elastic membership, online slice migration and split/merge.
 """
 
 from repro.cluster.client import (
@@ -22,6 +24,16 @@ from repro.cluster.client import (
     KVClient,
     RequestAbandonedError,
     run_clients,
+)
+from repro.cluster.control import (
+    MIGRATION_ABORT,
+    MIGRATION_PHASES,
+    MIGRATION_SITE,
+    ClusterController,
+    MigrationError,
+    RoutingTable,
+    RoutingView,
+    SliceLocation,
 )
 from repro.cluster.network import (
     MessageDroppedError,
@@ -65,4 +77,12 @@ __all__ = [
     "ReplicatedKV",
     "ReplicaReadError",
     "ReplicaWriteError",
+    "ClusterController",
+    "MigrationError",
+    "RoutingTable",
+    "RoutingView",
+    "SliceLocation",
+    "MIGRATION_ABORT",
+    "MIGRATION_PHASES",
+    "MIGRATION_SITE",
 ]

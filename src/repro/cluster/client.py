@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.cluster.network import Network, Nic, TEN_GBE_MB_S
 from repro.cluster.node import StorageServer
-from repro.faults.errors import TransientFault
+from repro.errors import ClusterError, TransientFault, WrongEpochError
 from repro.faults.retry import (
     RetryPolicy,
     defuse_on_failure,
@@ -29,7 +29,7 @@ from repro.sim import AllOf, Simulator
 from repro.sim.stats import LatencyRecorder, ThroughputMeter
 
 
-class RequestAbandonedError(Exception):
+class RequestAbandonedError(ClusterError):
     """A client request exhausted its retry budget."""
 
 #: Size of one KV request/response envelope (headers, key, status).
@@ -53,8 +53,26 @@ class BatchSpec:
             raise ValueError(f"mode must be read/write, got {self.mode!r}")
 
 
+#: Epoch-redirect retry bounds for routed clients: a stale routing view
+#: (or a cutover-frozen slice) is retried after an exponentially growing
+#: backoff, refreshing the view each time.
+ROUTE_RETRIES = 8
+ROUTE_BACKOFF_NS = 100_000  # 100 us, doubling per retry
+ROUTE_BACKOFF_CAP_NS = 5_000_000  # 5 ms
+
+
 class KVClient:
-    """One client node driving one slice with synchronous batches."""
+    """One client node driving one slice with synchronous batches.
+
+    With a ``router`` (a :class:`repro.cluster.control.RoutingView`),
+    the client resolves the owning server per request from its cached
+    routing snapshot and stamps each sub-request with the entry's
+    epoch; a :class:`~repro.errors.WrongEpochError` rejection triggers
+    a view refresh and a bounded backoff-retry, so requests follow a
+    slice through migrations.  Without one, the fixed ``server`` is
+    used unconditionally (the original single-owner behaviour, event
+    sequence untouched).
+    """
 
     def __init__(
         self,
@@ -68,12 +86,14 @@ class KVClient:
         name: str = "client",
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        router=None,
     ):
         self.sim = sim
         self.network = network
         self.server = server
         self.slice = slice_
         self.spec = spec
+        self.router = router
         self.keys = keys if keys is not None else []
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.nic = Nic(sim, TEN_GBE_MB_S, lanes=1, name=name)
@@ -90,6 +110,7 @@ class KVClient:
         #: adding load to a node already in trouble.
         self.breaker = breaker
         self.requests_shed = 0
+        self.requests_redirected = 0
         self._write_seq = 0
 
     # -- key selection ---------------------------------------------------------------
@@ -128,6 +149,9 @@ class KVClient:
         admission control can shed the request once it is doomed.  A
         breaker turns a run of failures into fast local rejections.
         """
+        if self.router is not None:
+            yield from self._request_once_routed()
+            return
         if self.retry is None and self.breaker is None:
             yield from self._attempt_once()
             return
@@ -186,6 +210,92 @@ class KVClient:
         raise RequestAbandonedError(
             f"request failed after {max_attempts} attempts"
         ) from last_error
+
+    # -- routed mode -------------------------------------------------------------------
+    def _request_once_routed(self):
+        """One request against the routing table, following redirects.
+
+        A stale-epoch rejection (the slice moved, or is mid-cutover)
+        refreshes the cached view and retries after an exponential
+        backoff -- bounded, so a persistently wrong table surfaces as
+        :class:`RequestAbandonedError` rather than a livelock.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(ROUTE_RETRIES + 1):
+            if attempt > 0:
+                self.requests_retried += 1
+                backoff = min(
+                    ROUTE_BACKOFF_NS << (attempt - 1), ROUTE_BACKOFF_CAP_NS
+                )
+                yield self.sim.timeout(backoff)
+                self.router.refresh()
+            try:
+                yield from self._attempt_once_routed()
+                return
+            except (WrongEpochError, KeyError) as exc:
+                # WrongEpochError: the slice moved (or is mid-cutover).
+                # KeyError: the cached view names a retired node or a
+                # since-split slice.  Both mean "refresh and retry".
+                self.requests_redirected += 1
+                last_error = exc
+                continue
+        raise RequestAbandonedError(
+            f"request still misrouted after {ROUTE_RETRIES} refreshes"
+        ) from last_error
+
+    def _attempt_once_routed(self, deadline_ns: Optional[int] = None):
+        """One routed attempt: like :meth:`_attempt_once`, but every
+        sub-request resolves its owner through the routing view and
+        carries the entry's epoch stamp."""
+        spec = self.spec
+        start = self.sim.now
+        if spec.mode == "read":
+            keys = self._sample_read_keys(spec.batch_size)
+        else:
+            keys = self._next_write_keys(spec.batch_size)
+        front, _ = self.router.lookup(keys[0])
+        envelope = ENVELOPE_BYTES * spec.batch_size
+        payload = spec.batch_size * spec.value_bytes
+        if spec.mode == "read":
+            yield from self.network.send(self.nic, front.nic, envelope)
+            per_sub = spec.value_bytes + ENVELOPE_BYTES
+
+            def sub_read(key):
+                server, entry = self.router.lookup(key)
+                value = yield from server.handle_get(
+                    key, deadline_ns=deadline_ns, epoch=entry.epoch
+                )
+                yield from self.network.send(server.nic, self.nic, per_sub)
+                return value
+
+            subs = [
+                defuse_on_failure(self.sim.process(sub_read(key)))
+                for key in keys
+            ]
+            yield AllOf(self.sim, subs)
+        else:
+            yield from self.network.send(
+                self.nic, front.nic, payload + envelope
+            )
+
+            def sub_write(key):
+                server, entry = self.router.lookup(key)
+                yield from server.handle_put(
+                    key,
+                    PlaceholderValue(spec.value_bytes),
+                    deadline_ns=deadline_ns,
+                    epoch=entry.epoch,
+                )
+
+            subs = [
+                defuse_on_failure(self.sim.process(sub_write(key)))
+                for key in keys
+            ]
+            yield AllOf(self.sim, subs)
+            yield from self.network.send(front.nic, self.nic, envelope)
+        self.meter.record(self.sim.now, payload)
+        self.latency.record(self.sim.now - start)
+        self.requests_completed += 1
 
     def _attempt_once(self, deadline_ns: Optional[int] = None):
         """Generator: one request attempt (the original request body)."""

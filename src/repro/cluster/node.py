@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro.cluster.network import Nic, TEN_GBE_MB_S
 from repro.cluster.storage import ConventionalNodeStorage, SDFNodeStorage
-from repro.faults.errors import TransientFault
+from repro.errors import ClusterError, TransientFault, WrongEpochError
 from repro.kv.common import PlaceholderValue
 from repro.kv.compaction import split_patch
 from repro.kv.slice import Slice
@@ -35,7 +35,7 @@ SERVER_CONFIG = {
 }
 
 
-class NodeDownError(TransientFault):
+class NodeDownError(TransientFault, ClusterError):
     """Request sent to a crashed server; callers fail over or retry."""
 
 
@@ -54,13 +54,13 @@ class StorageServer:
         nic: Optional[Nic] = None,
         wal_replay_ns_per_record: int = 2_000,
     ):
-        if not slices:
-            raise ValueError("a server needs at least one slice")
         self.sim = sim
         self.storage = storage
         self.slices = list(slices)
         self.per_request_cpu_ns = per_request_cpu_ns
         self.copy_mb_per_s = copy_mb_per_s
+        self.max_pending_patches = max_pending_patches
+        self.enable_compaction = enable_compaction
         self.nic = nic if nic is not None else Nic(
             sim, TEN_GBE_MB_S, lanes=2, name="server"
         )
@@ -104,6 +104,92 @@ class StorageServer:
         if enable_compaction:
             for slice_ in self.slices:
                 sim.process(self._compactor(slice_))
+
+    # -- plane wiring ------------------------------------------------------------------
+    def attach(self, plane, *, name: str = "server") -> "StorageServer":
+        """Wire one plane into this server, dispatching on plane type.
+
+        The unified entry point for every opt-in plane:
+
+        * :class:`repro.obs.Observability` -- request metrics, per-slice
+          counters and trace spans (``name`` is unused);
+        * :class:`repro.faults.FaultPlan` -- the server becomes the
+          scheduled-fault target at site ``name`` and the device layers
+          underneath gain their injectors (sites ``{name}.*``);
+        * :class:`repro.qos.QosPlan` -- admission control/write stalls
+          on this server plus channel bounds below it (metrics prefixed
+          ``{name}``).
+
+        Returns ``self`` so attachments chain fluently.
+        """
+        from repro.faults.plan import FaultPlan
+        from repro.obs.attach import Observability
+        from repro.qos.config import QosPlan
+
+        if isinstance(plane, Observability):
+            self.attach_obs(plane)
+        elif isinstance(plane, FaultPlan):
+            from repro.faults.wire import attach_server_faults
+
+            attach_server_faults(plane, self, site=name)
+        elif isinstance(plane, QosPlan):
+            from repro.qos.wire import attach_server_qos
+
+            attach_server_qos(plane, self, name=name)
+        else:
+            raise TypeError(
+                f"don't know how to attach {type(plane).__name__}; expected "
+                "Observability, FaultPlan or QosPlan"
+            )
+        return self
+
+    # -- slice hosting -----------------------------------------------------------------
+    def add_slice(self, slice_: Slice, importing: bool = False) -> None:
+        """Start hosting a slice (the control plane's placement hook).
+
+        ``importing`` marks a migration target still catching up: it is
+        not routable and runs no compactor until
+        :meth:`finish_import` flips it live.
+        """
+        if any(s.slice_id == slice_.slice_id for s in self.slices):
+            raise ValueError(f"already hosting slice {slice_.slice_id}")
+        slice_.importing = importing
+        self.slices.append(slice_)
+        self._flush_slots[slice_.slice_id] = Resource(
+            self.sim, capacity=self.max_pending_patches
+        )
+        self._slice_cpu[slice_.slice_id] = Resource(self.sim, capacity=1)
+        self._compaction_pokes[slice_.slice_id] = Store(self.sim)
+        if self.obs is not None:
+            slice_.bind_metrics(self.obs.metrics)
+        if self.enable_compaction and not importing:
+            self.sim.process(self._compactor(slice_))
+
+    def finish_import(self, slice_: Slice) -> None:
+        """Make an imported slice live (post-cutover): it becomes
+        routable and its compactor starts."""
+        if slice_ not in self.slices:
+            raise ValueError(f"not hosting slice {slice_.slice_id}")
+        if not slice_.importing:
+            raise ValueError(f"slice {slice_.slice_id} is not importing")
+        slice_.importing = False
+        if self.enable_compaction:
+            self.sim.process(self._compactor(slice_))
+
+    def remove_slice(self, slice_: Slice) -> None:
+        """Stop hosting a slice (post-migration or post-merge).
+
+        The per-slice resources stay behind so in-flight background
+        work (a flush holding a slot, the compactor mid-merge) can
+        still release them; the compactor notices the removal at its
+        next wake-up and exits.
+        """
+        if slice_ not in self.slices:
+            raise ValueError(f"not hosting slice {slice_.slice_id}")
+        self.slices.remove(slice_)
+        poke = self._compaction_pokes.get(slice_.slice_id)
+        if poke is not None:
+            poke.put(True)  # wake the compactor so it can exit
 
     # -- observability -----------------------------------------------------------------
     def attach_obs(self, obs) -> None:
@@ -242,11 +328,30 @@ class StorageServer:
         return int(ns * self.slowdown)
 
     # -- routing -------------------------------------------------------------------
-    def route(self, key) -> Slice:
-        """The slice owning this key (KeyError if none)."""
+    def route(self, key, epoch: Optional[int] = None) -> Slice:
+        """The live slice owning this key.
+
+        ``epoch`` is the routing epoch the client's cached table stamped
+        on the request.  A stale stamp -- or a key this server no longer
+        owns -- raises :class:`~repro.errors.WrongEpochError`, telling
+        the client to refresh its routing table and retry.  Importing
+        slices (migration targets still catching up) are never routable.
+        Unstamped requests (``epoch=None``, the single-server fast path)
+        keep the historical KeyError on a miss.
+        """
         for slice_ in self.slices:
-            if slice_.owns(key):
-                return slice_
+            if slice_.importing or not slice_.owns(key):
+                continue
+            if epoch is not None and epoch != slice_.epoch:
+                raise WrongEpochError(
+                    f"slice {slice_.slice_id} is at epoch {slice_.epoch}; "
+                    f"request stamped epoch {epoch}"
+                )
+            return slice_
+        if epoch is not None:
+            raise WrongEpochError(
+                f"no live slice on this server owns key {key!r}"
+            )
         raise KeyError(f"no slice on this server owns key {key!r}")
 
     # -- request handlers (generators) -----------------------------------------------
@@ -256,7 +361,12 @@ class StorageServer:
 
         return self.per_request_cpu_ns + transfer_ns(nbytes, self.copy_mb_per_s)
 
-    def handle_get(self, key, deadline_ns: Optional[int] = None):
+    def handle_get(
+        self,
+        key,
+        deadline_ns: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ):
         """Generator -> the value (or None): at most one device read.
 
         ``deadline_ns`` is the client's propagated absolute deadline:
@@ -264,6 +374,7 @@ class StorageServer:
         passed (or passes while queued on the slice CPU) is shed instead
         of served -- it cannot possibly answer in time, so serving it
         would only steal capacity from requests that still can.
+        ``epoch`` is the client's routing-table stamp (see :meth:`route`).
         """
         self._check_up()
         qos = self.qos
@@ -272,7 +383,7 @@ class StorageServer:
         try:
             self.gets.add()
             start = self.sim.now
-            slice_ = self.route(key)
+            slice_ = self.route(key, epoch)
             slice_.reads.add()
             with self._slice_cpu[slice_.slice_id].request() as cpu:
                 yield cpu
@@ -281,6 +392,13 @@ class StorageServer:
             # The node may have died while this request queued; answering
             # from post-crash DRAM state could serve a stale miss.
             self._check_up()
+            if epoch is not None and slice_.epoch != epoch:
+                # Ownership moved while this request queued; the new
+                # owner has the authoritative state now.
+                raise WrongEpochError(
+                    f"slice {slice_.slice_id} moved to epoch "
+                    f"{slice_.epoch} while request queued"
+                )
             if qos is not None and qos.expired(deadline_ns):
                 raise DeadlineExceededError(
                     f"get of {key!r} missed its deadline while queued"
@@ -295,6 +413,10 @@ class StorageServer:
                         self._cpu_cost_ns(payload.size)
                         - self.per_request_cpu_ns
                     ))
+            if result is not None:
+                from repro.kv.common import sizeof_value
+
+                slice_.bytes_read.add(sizeof_value(result))
             if self.obs is not None:
                 self._note_request("get", slice_, start, wait_ns, source=kind)
             return result
@@ -302,13 +424,20 @@ class StorageServer:
             if qos is not None:
                 qos.release("read")
 
-    def handle_put(self, key, value, deadline_ns: Optional[int] = None):
+    def handle_put(
+        self,
+        key,
+        value,
+        deadline_ns: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ):
         """Generator: insert; blocks only when flushes are backed up.
 
         With admission control attached, a put is additionally gated on
         the slice's LSM write pressure (RocksDB-style stall/stop on
         flush backlog and level-0 runs), and one whose propagated
-        ``deadline_ns`` passed is shed.
+        ``deadline_ns`` passed is shed.  ``epoch`` is the client's
+        routing-table stamp (see :meth:`route`).
         """
         self._check_up()
         qos = self.qos
@@ -317,7 +446,7 @@ class StorageServer:
         try:
             self.puts.add()
             start = self.sim.now
-            slice_ = self.route(key)
+            slice_ = self.route(key, epoch)
             slice_.writes.add()
             from repro.kv.common import sizeof_value
 
@@ -333,7 +462,23 @@ class StorageServer:
             if qos is not None:
                 yield from qos.write_stall_gate(slice_, deadline_ns)
                 self._check_up()
+            # Cutover freeze: the migration's final tail transfer has
+            # snapshotted (or is about to snapshot) this memtable, so no
+            # new write may land in it.  The client retries; by then the
+            # epoch bump has redirected it to the new owner.  This check
+            # sits immediately before the (synchronous) memtable insert
+            # so nothing can slip in between.
+            if slice_.write_blocked:
+                raise WrongEpochError(
+                    f"slice {slice_.slice_id} is frozen for migration cutover"
+                )
+            if epoch is not None and slice_.epoch != epoch:
+                raise WrongEpochError(
+                    f"slice {slice_.slice_id} moved to epoch "
+                    f"{slice_.epoch} while request queued"
+                )
             frozen = slice_.lsm.put(key, value)
+            slice_.bytes_written.add(sizeof_value(value))
             if frozen is not None:
                 # Capture the epoch before blocking on a flush slot: if the
                 # node crashes while we wait, the frozen patch was wiped with
@@ -350,9 +495,16 @@ class StorageServer:
             if qos is not None:
                 qos.release("write")
 
-    def handle_delete(self, key, deadline_ns: Optional[int] = None):
+    def handle_delete(
+        self,
+        key,
+        deadline_ns: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ):
         """Generator: delete = put of a tombstone."""
-        yield from self.handle_put(key, _tombstone(), deadline_ns=deadline_ns)
+        yield from self.handle_put(
+            key, _tombstone(), deadline_ns=deadline_ns, epoch=epoch
+        )
 
     def scan_plan(self, lo, hi):
         """All (slice, run) pairs a range scan must read, synchronously
@@ -398,6 +550,10 @@ class StorageServer:
 
     # -- background work ---------------------------------------------------------------
     def _flush(self, slice_: Slice, frozen, slot, epoch: Optional[int] = None):
+        # Capture the slot resource now: if the slice migrates away while
+        # this flush is in flight, release must hit the same resource the
+        # slot was requested from.
+        slots = self._flush_slots[slice_.slice_id]
         if epoch is None:
             epoch = self._epoch
         try:
@@ -411,20 +567,26 @@ class StorageServer:
             slice_.lsm.register_patch(frozen, handle)
             yield self._compaction_pokes[slice_.slice_id].put(True)
         finally:
-            self._flush_slots[slice_.slice_id].release(slot)
+            slots.release(slot)
 
     def _compactor(self, slice_: Slice):
         """Per-slice compaction loop: merge whenever the policy asks."""
         pokes = self._compaction_pokes[slice_.slice_id]
         while True:
             yield pokes.get()
+            if slice_ not in self.slices:
+                return  # slice migrated away or was merged; stand down
             while True:
-                if not self.up:
-                    # Stand down while crashed; restart() pokes us awake.
+                if not self.up or slice_.migration_hold:
+                    # Stand down while crashed (restart() pokes us awake)
+                    # or while the slice is a migration source (the
+                    # transfer needs a stable run inventory; the
+                    # controller pokes us on release).
                     break
                 task = slice_.lsm.pick_compaction()
                 if task is None:
                     break
+                slice_.compaction_active = True
                 try:
                     patches = []
                     for handle in slice_.lsm.run_handles(task):
@@ -457,6 +619,8 @@ class StorageServer:
                     # stand down until the next flush pokes us.
                     self.compaction_aborts.add()
                     break
+                finally:
+                    slice_.compaction_active = False
 
     # -- preloading -------------------------------------------------------------------
     def preload(self, slice_: Slice, keys, value_bytes: int, compact: bool = True):

@@ -19,37 +19,44 @@ behaviours the paper assumes host software provides live here:
   from its peers.
 
 Fault injection goes through :mod:`repro.faults` (site ``replication``
-for the read-path BCH-failure stand-in).  The historical
-``read_failure_rate`` kwarg is deprecated and now merely builds that
-rule internally.
+for the read-path BCH-failure stand-in).
+
+With a ``router`` -- a callable returning the slice's *current* replica
+servers, typically
+:meth:`repro.cluster.control.ClusterController.replica_router` -- the
+replica set is resolved from the routing table on every operation, so
+membership changes made by the control plane take effect without
+rebuilding the ``ReplicatedKV``.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.cluster.node import StorageServer
-from repro.faults.errors import TransientFault
+from repro.errors import ClusterError, PermanentFault, TransientFault
 from repro.faults.injector import NULL_INJECTOR, READ_UNCORRECTABLE
-from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, defuse_on_failure, race_with_timeout
 from repro.sim import Simulator
 from repro.sim.stats import Counter
 
 
-class ReplicaReadError(Exception):
+class ReplicaReadError(PermanentFault, ClusterError):
     """Every replica failed a read: real data loss (or total outage)."""
 
 
-class ReplicaWriteError(Exception):
+class ReplicaWriteError(PermanentFault, ClusterError):
     """No live replica could accept a write; nothing was acknowledged."""
 
 
 class ReplicatedKV:
-    """A key's value stored on every one of ``servers``.
+    """A key's value stored on every replica of its slice.
+
+    The replica set is either the fixed ``servers`` list (the original
+    behaviour) or resolved per operation through ``router`` (a callable
+    returning the current list of :class:`StorageServer`\\ s).
 
     ``faults`` is a :class:`~repro.faults.injector.FaultInjector` for the
     ``replication`` site; its ``read_uncorrectable`` rules stand in for
@@ -62,48 +69,32 @@ class ReplicatedKV:
     def __init__(
         self,
         sim: Simulator,
-        servers: List[StorageServer],
-        read_failure_rate: float = 0.0,
+        servers: Optional[List[StorageServer]] = None,
         rng: Optional[np.random.Generator] = None,
         faults=None,
         retry: Optional[RetryPolicy] = None,
         breakers: Optional[List] = None,
+        router: Optional[Callable[[], List[StorageServer]]] = None,
     ):
-        if not servers:
-            raise ValueError("need at least one replica server")
+        if router is None:
+            if not servers:
+                raise ValueError("need at least one replica server")
+        else:
+            if servers is not None:
+                raise ValueError("pass a fixed server list or a router, not both")
+            if breakers is not None:
+                raise ValueError(
+                    "per-replica breakers need a fixed replica set; "
+                    "they cannot follow a dynamic router"
+                )
         if breakers is not None and len(breakers) != len(servers):
             raise ValueError(
                 f"need one breaker per replica: got {len(breakers)} "
                 f"breakers for {len(servers)} servers"
             )
-        if not 0.0 <= read_failure_rate < 1.0:
-            raise ValueError("read_failure_rate outside [0, 1)")
-        if read_failure_rate > 0.0 and rng is None:
-            raise ValueError("failure injection needs an rng")
-        if read_failure_rate > 0.0 and faults is not None:
-            raise ValueError(
-                "pass either a fault injector or the deprecated "
-                "read_failure_rate, not both"
-            )
-        if read_failure_rate > 0.0:
-            warnings.warn(
-                "read_failure_rate is deprecated; build a FaultPlan and "
-                "pass faults=plan.injector('replication') instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            # Route the legacy knob through the fault plane.  The rule
-            # reuses the caller's rng so historical draw sequences (and
-            # the tests pinned to them) are preserved bit-for-bit.
-            shim = FaultPlan(seed=0)
-            shim.add(
-                "replication", READ_UNCORRECTABLE, rate=read_failure_rate,
-                rng=rng,
-            )
-            faults = shim.injector("replication")
         self.sim = sim
-        self.servers = servers
-        self.read_failure_rate = read_failure_rate
+        self._servers = list(servers) if servers is not None else None
+        self.router = router
         self.rng = rng
         self.faults = faults if faults is not None else NULL_INJECTOR
         self.retry = retry
@@ -114,8 +105,12 @@ class ReplicatedKV:
         #: timed-out replicas go to the missed ledger and are healed
         #: later, exactly like replicas that were down.
         self.breakers = breakers
-        #: keys each replica missed while down, in arrival order.
-        self._behind: List[Dict[object, bool]] = [{} for _ in servers]
+        #: keys each replica missed while down, in arrival order.  Keyed
+        #: by the server object so the ledger follows a replica through
+        #: routing-table membership changes.
+        self._behind: Dict[object, Dict[object, bool]] = {}
+        for server in self._servers or ():
+            self._behind[server] = {}
         #: per-key write sequence, bumped synchronously when a put is
         #: issued; :meth:`heal` uses it to detect writes racing with a
         #: resync copy (which could otherwise resurrect a stale value).
@@ -128,15 +123,29 @@ class ReplicatedKV:
         self.resynced_keys = Counter("replication.resynced_keys")
 
     @property
+    def servers(self) -> List[StorageServer]:
+        """The current replica set (fixed list, or resolved per call)."""
+        if self.router is not None:
+            return list(self.router())
+        return self._servers
+
+    @property
     def replication_factor(self) -> int:
         """Number of replicas."""
         return len(self.servers)
 
+    def _ledger(self, server) -> Dict[object, bool]:
+        """The missed-key ledger for one replica (created on first use)."""
+        ledger = self._behind.get(server)
+        if ledger is None:
+            ledger = self._behind[server] = {}
+        return ledger
+
     def behind_count(self, index: Optional[int] = None) -> int:
         """Keys a replica (or all replicas) still owes."""
         if index is not None:
-            return len(self._behind[index])
-        return sum(len(b) for b in self._behind)
+            return len(self._ledger(self.servers[index]))
+        return sum(len(b) for b in self._behind.values())
 
     # -- writes ---------------------------------------------------------------------
     def put(self, key, value):
@@ -148,16 +157,17 @@ class ReplicatedKV:
         no replica accepts the write (nothing acknowledged).
         """
         self._write_seq[key] = self._write_seq.get(key, 0) + 1
+        servers = self.servers  # one consistent membership snapshot
         writers = []
-        for index, server in enumerate(self.servers):
+        for index, server in enumerate(servers):
             if not server.up:
-                self._behind[index][key] = True
+                self._ledger(server)[key] = True
                 continue
             if self.breakers is not None and not self.breakers[index].allow():
                 # Fast local failure: the replica is presumed unhealthy,
                 # so record the debt for heal() instead of feeding load
                 # to a node already in trouble.
-                self._behind[index][key] = True
+                self._ledger(server)[key] = True
                 continue
             # Defused up front: a replica crashing under writer N+1 while
             # we still await writer N must reach us at our yield, not
@@ -165,6 +175,7 @@ class ReplicatedKV:
             writers.append(
                 (
                     index,
+                    server,
                     defuse_on_failure(
                         self.sim.process(server.handle_put(key, value))
                     ),
@@ -172,7 +183,7 @@ class ReplicatedKV:
             )
         acked = 0
         last_error: Optional[BaseException] = None
-        for index, proc in writers:
+        for index, server, proc in writers:
             try:
                 if self.breakers is not None and self.retry is not None:
                     # With breakers opted in, a write attempt is bounded
@@ -186,7 +197,7 @@ class ReplicatedKV:
                     if not done:
                         self.timeouts.add()
                         self.breakers[index].record_failure()
-                        self._behind[index][key] = True
+                        self._ledger(server)[key] = True
                         last_error = TimeoutError(
                             f"replica {index} write of {key!r} exceeded "
                             f"{self.retry.timeout_ns} ns"
@@ -197,7 +208,7 @@ class ReplicatedKV:
             except TransientFault as exc:  # crashed while the put ran
                 if self.breakers is not None:
                     self.breakers[index].record_failure()
-                self._behind[index][key] = True
+                self._ledger(server)[key] = True
                 last_error = exc
                 continue
             if self.breakers is not None:
@@ -205,16 +216,16 @@ class ReplicatedKV:
             acked += 1
             # The replica now holds the newest value, even if it was
             # behind on this key before (e.g. written mid-resync).
-            self._behind[index].pop(key, None)
+            self._ledger(server).pop(key, None)
         if acked == 0:
             raise ReplicaWriteError(
                 f"no live replica accepted the write of {key!r}"
             ) from last_error
-        if acked < self.replication_factor:
+        if acked < len(servers):
             self.degraded_writes.add()
 
     # -- reads ----------------------------------------------------------------------
-    def _failover_order(self, key) -> List[int]:
+    def _failover_order(self, servers, key) -> List[int]:
         """Replica indexes to try, best candidates first.
 
         Down replicas are excluded (their requests would only burn a
@@ -225,8 +236,8 @@ class ReplicatedKV:
         """
         return [
             index
-            for index, server in enumerate(self.servers)
-            if server.up and key not in self._behind[index]
+            for index, server in enumerate(servers)
+            if server.up and key not in self._ledger(server)
         ]
 
     def get(self, key):
@@ -246,11 +257,12 @@ class ReplicatedKV:
                 yield self.sim.timeout(
                     policy.backoff_ns(round_no - 1, self.rng)
                 )
-            candidates = self._failover_order(key)
-            if candidates and len(candidates) < self.replication_factor:
+            servers = self.servers  # re-resolved: replicas may have moved
+            candidates = self._failover_order(servers, key)
+            if candidates and len(candidates) < len(servers):
                 self.degraded_reads.add()
             for order, index in enumerate(candidates):
-                server = self.servers[index]
+                server = servers[index]
                 breaker = (
                     self.breakers[index] if self.breakers is not None else None
                 )
@@ -328,9 +340,10 @@ class ReplicatedKV:
         server = self.servers[index]
         if not server.up:
             raise RuntimeError(f"replica {index} is still down; restart first")
+        ledger = self._ledger(server)
         resynced = 0
-        for key in list(self._behind[index]):
-            if key not in self._behind[index]:
+        for key in list(ledger):
+            if key not in ledger:
                 continue  # a live put already brought this key in sync
             while True:
                 seq = self._write_seq.get(key, 0)
@@ -342,7 +355,7 @@ class ReplicatedKV:
                 else:
                     yield from server.handle_put(key, value)
                 break
-            self._behind[index].pop(key, None)
+            ledger.pop(key, None)
             self.resynced_keys.add()
             resynced += 1
         if resynced:

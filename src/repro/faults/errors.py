@@ -8,16 +8,18 @@ of enumerating layer-specific exception types, and anything that is
 **not** a ``TransientFault`` (programming-model violations, out of
 space, routing bugs) still propagates loudly.
 
-This module sits at the bottom of the dependency graph on purpose: the
-NAND, link, network and cluster layers all import it, so it must import
-nothing from them.
+:class:`TransientFault` itself lives in :mod:`repro.errors` (the
+package-wide exception hierarchy) and is re-exported here so that the
+historical ``repro.faults.errors.TransientFault`` import path keeps
+working -- it is the *same* class object, so ``except`` clauses match
+either spelling.
 """
 
 from __future__ import annotations
 
+from repro.errors import TransientFault
 
-class TransientFault(Exception):
-    """A failure that retry, failover or replica recovery can absorb."""
+__all__ = ["TransientFault", "FaultInjectionError"]
 
 
 class FaultInjectionError(ValueError):

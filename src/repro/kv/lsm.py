@@ -247,6 +247,35 @@ class LSMTree:
                     continue
             self._key_map[key] = run.run_id
 
+    # -- migration (snapshot transfer) --------------------------------------------
+    def runs_snapshot(self) -> List[Run]:
+        """The registered runs, oldest freeze first.
+
+        This is the unit of the control plane's snapshot transfer: each
+        run's patch is read from the source storage, shipped over the
+        network, stored on the target and re-installed there with
+        :meth:`adopt_run`.  Oldest-first order means a partially adopted
+        prefix is always a consistent (if stale) view.
+        """
+        return sorted(self._runs.values(), key=lambda run: run.freeze_token)
+
+    def adopt_run(self, patch: Patch, handle, level: int, freeze_token: int) -> Run:
+        """Install a run transferred from another node.
+
+        The run keeps its source ``freeze_token`` so newest-wins
+        shadowing resolves identically on the target; future local
+        freezes are pushed past the adopted tokens so they stay newer.
+        """
+        if level < 0 or level >= self.policy.max_levels:
+            raise ValueError(f"level {level} outside the level range")
+        run = self._make_run(
+            level=level, handle=handle, token=freeze_token, patch=patch
+        )
+        self._insert_newest_first(level, run)
+        self._index_run(run, patch)
+        self._next_token = max(self._next_token, freeze_token + 1)
+        return run
+
     # -- crash / recovery --------------------------------------------------------
     def lose_volatile(self) -> int:
         """Simulate power loss: drop everything DRAM-resident that the

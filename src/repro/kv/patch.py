@@ -94,6 +94,16 @@ class Patch:
             (self._keys[i], self._values[i]) for i in range(start, stop)
         ]
 
+    def restricted_to(self, key_range) -> Optional["Patch"]:
+        """A new patch holding only the items inside ``key_range``
+        (a :class:`repro.kv.slice.KeyRange`), or ``None`` when the
+        range holds nothing.  Used by slice splits to partition a
+        parent's runs between its children."""
+        items = self.range_items(key_range.lo, key_range.hi)
+        if not items:
+            return None
+        return Patch(items)
+
     # -- serialization -------------------------------------------------------------
     _TOMBSTONE_MARK = "__ccdb_tombstone__"
     _PLACEHOLDER_MARK = "__ccdb_placeholder__"

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import ClusterError
 from repro.kv.lsm import LSMTree
 from repro.sim.stats import Counter
 
@@ -30,9 +31,35 @@ class KeyRange:
     def __contains__(self, key) -> bool:
         return self.lo <= key < self.hi
 
+    def split(self, at) -> "tuple[KeyRange, KeyRange]":
+        """Split into ``[lo, at)`` and ``[at, hi)``; ``at`` must fall
+        strictly inside the range (both halves non-empty)."""
+        if not self.lo < at < self.hi:
+            raise ValueError(
+                f"split point {at!r} outside ({self.lo!r}, {self.hi!r})"
+            )
+        return KeyRange(self.lo, at), KeyRange(at, self.hi)
 
-class WrongSliceError(KeyError):
-    """A key outside this slice's range was routed here."""
+    def adjacent_to(self, other: "KeyRange") -> bool:
+        """True when the two ranges share exactly one boundary."""
+        return self.hi == other.lo or other.hi == self.lo
+
+    def merged_with(self, other: "KeyRange") -> "KeyRange":
+        """The union of two adjacent ranges."""
+        if not self.adjacent_to(other):
+            raise ValueError(
+                f"ranges [{self.lo!r}, {self.hi!r}) and "
+                f"[{other.lo!r}, {other.hi!r}) are not adjacent"
+            )
+        return KeyRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+
+class WrongSliceError(ClusterError, KeyError):
+    """A key outside this slice's range was routed here.
+
+    Subclasses :class:`KeyError` so historical ``except KeyError``
+    routing checks keep matching.
+    """
 
 
 class Slice:
@@ -49,12 +76,43 @@ class Slice:
         self.lsm = lsm if lsm is not None else LSMTree()
         self.reads = Counter(f"slice{slice_id}.reads")
         self.writes = Counter(f"slice{slice_id}.writes")
+        #: Payload bytes served/accepted -- the load signal the cluster
+        #: rebalancer equalises across nodes.
+        self.bytes_read = Counter(f"slice{slice_id}.bytes_read")
+        self.bytes_written = Counter(f"slice{slice_id}.bytes_written")
+        #: Routing epoch: bumped by the control plane each time the
+        #: slice changes owner.  Requests stamped with an older epoch
+        #: are rejected with :class:`~repro.errors.WrongEpochError`.
+        self.epoch = 0
+        #: True while this slice is a migration *target* still catching
+        #: up: it must not serve requests yet.
+        self.importing = False
+        #: True during migration cutover: new puts are rejected (and
+        #: retried by the client against the new owner after the epoch
+        #: bump) so the final tail transfer sees a quiescent memtable.
+        self.write_blocked = False
+        #: True while this slice is a migration *source*: background
+        #: compaction stands down so the registered-run set only grows,
+        #: letting the snapshot/catch-up transfer work over a stable
+        #: run inventory (no read-vs-free races, no re-transfers).
+        self.migration_hold = False
+        #: True while a compaction merge is actually in flight on this
+        #: slice.  ``migration_hold`` stops *new* merges; the control
+        #: plane polls this flag to wait out one already running before
+        #: it snapshots the run inventory.
+        self.compaction_active = False
 
     def bind_metrics(self, registry) -> None:
         """Adopt this slice's counters into a MetricsRegistry, so a
         snapshot reports per-slice read/write counts."""
         registry.register_counter(f"slice{self.slice_id}.reads", self.reads)
         registry.register_counter(f"slice{self.slice_id}.writes", self.writes)
+        registry.register_counter(
+            f"slice{self.slice_id}.bytes_read", self.bytes_read
+        )
+        registry.register_counter(
+            f"slice{self.slice_id}.bytes_written", self.bytes_written
+        )
         registry.register_callback(
             f"slice{self.slice_id}.memtable_bytes",
             lambda _now: self.lsm.memtable.nbytes,

@@ -16,11 +16,10 @@ wear.  This package makes those visible in any run:
 Typical use::
 
     from repro import build_sdf_system
-    from repro.obs import Observability, attach_system
+    from repro.obs import Observability
 
     obs = Observability(trace=True)
-    system = build_sdf_system(capacity_scale=0.004, n_channels=4)
-    attach_system(obs, system)
+    system = build_sdf_system(capacity_scale=0.004, n_channels=4, obs=obs)
     block = system.put(b"payload")
     system.get(block, 0, 7)
     obs.trace.write("run.trace.json")          # open in ui.perfetto.dev

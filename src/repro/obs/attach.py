@@ -97,10 +97,24 @@ def attach_block_layer(obs: Observability, layer) -> None:
     )
 
 
-def attach_system(obs: Observability, system) -> None:
+def _wire_system(obs: Observability, system) -> None:
     """Instrument an :class:`~repro.core.api.SDFSystem` end to end."""
     attach_device(obs, system.device)
     attach_block_layer(obs, system.block_layer)
+
+
+def attach_system(obs: Observability, system) -> None:
+    """Deprecated: use ``system.attach(obs)`` or
+    ``build_sdf_system(obs=...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "attach_system() is deprecated; use SDFSystem.attach(obs) or "
+        "build_sdf_system(obs=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _wire_system(obs, system)
 
 
 def attach_server(obs: Observability, server) -> None:

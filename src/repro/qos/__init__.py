@@ -32,6 +32,7 @@ from repro.qos.config import (
     AdmissionConfig,
     BreakerConfig,
     ChannelQosConfig,
+    MigrationConfig,
     QosPlan,
     WriteStallConfig,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "DeadlineExceededError",
+    "MigrationConfig",
     "QosPlan",
     "RequestSheddedError",
     "WriteStallConfig",

@@ -127,6 +127,37 @@ class AdmissionConfig:
 
 
 @dataclass(frozen=True)
+class MigrationConfig:
+    """Budget for the control plane's online slice migrations.
+
+    ``copy_mb_per_s`` caps the aggregate network rate of snapshot /
+    catch-up transfers (the controller paces itself below it), keeping
+    rebalancing from starving foreground traffic.  Migration's source
+    reads additionally ride the ``scan`` admission class of
+    :class:`AdmissionConfig`, so a loaded server sheds migration reads
+    before client reads.  ``max_concurrent`` bounds simultaneous slice
+    migrations.  ``None`` disables a bound.
+    """
+
+    copy_mb_per_s: Optional[float] = None
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self):
+        if self.copy_mb_per_s is not None and self.copy_mb_per_s <= 0:
+            raise ValueError(
+                f"copy_mb_per_s must be > 0 or None, got {self.copy_mb_per_s}"
+            )
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1 or None, got {self.max_concurrent}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return self.copy_mb_per_s is None and self.max_concurrent is None
+
+
+@dataclass(frozen=True)
 class BreakerConfig:
     """Client-side circuit-breaker tuning (see
     :class:`repro.qos.breaker.CircuitBreaker`)."""
@@ -153,11 +184,16 @@ class QosPlan:
         write_stall: Optional[WriteStallConfig] = None,
         admission: Optional[AdmissionConfig] = None,
         breaker: Optional[BreakerConfig] = None,
+        migration: Optional[MigrationConfig] = None,
     ):
         self.channel = channel
         self.write_stall = write_stall
         self.admission = admission
         self.breaker = breaker
+        #: Consumed by :class:`repro.cluster.control.ClusterController`,
+        #: not by the wiring helpers (it budgets the controller's own
+        #: transfers rather than instrumenting a layer).
+        self.migration = migration
         self.obs = None
         #: Every live QoS state object created by the wiring helpers
         #: (channel limiters, admission controllers, breakers), so a
@@ -172,6 +208,7 @@ class QosPlan:
             and (self.write_stall is None or self.write_stall.empty)
             and self.admission is None
             and self.breaker is None
+            and (self.migration is None or self.migration.empty)
         )
 
     def register(self, state) -> None:
@@ -205,7 +242,9 @@ class QosPlan:
 
     def __repr__(self):
         parts = []
-        for field in ("channel", "write_stall", "admission", "breaker"):
+        for field in (
+            "channel", "write_stall", "admission", "breaker", "migration"
+        ):
             if getattr(self, field) is not None:
                 parts.append(field)
         return f"QosPlan({', '.join(parts) if parts else 'empty'})"

@@ -47,10 +47,24 @@ def attach_block_layer_qos(plan: QosPlan, layer, prefix: str = "") -> None:
     plan.register(limiter)
 
 
-def attach_system_qos(plan: QosPlan, system, prefix: str = "") -> None:
+def _wire_system_qos(plan: QosPlan, system, prefix: str = "") -> None:
     """Wire an :class:`~repro.core.api.SDFSystem` (device + block layer)."""
     attach_device_qos(plan, system.device, prefix=prefix)
     attach_block_layer_qos(plan, system.block_layer, prefix=prefix)
+
+
+def attach_system_qos(plan: QosPlan, system, prefix: str = "") -> None:
+    """Deprecated: use ``system.attach(plan, prefix=...)`` or
+    ``build_sdf_system(qos=...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "attach_system_qos() is deprecated; use SDFSystem.attach(plan) "
+        "or build_sdf_system(qos=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _wire_system_qos(plan, system, prefix=prefix)
 
 
 def attach_server_qos(plan: QosPlan, server, name: str = "server") -> None:

@@ -13,6 +13,7 @@ from repro.cluster import (
     build_sdf_server,
     run_clients,
 )
+from repro.faults import READ_UNCORRECTABLE, FaultPlan
 from repro.kv import PlaceholderValue
 from repro.kv.slice import KeyRange, Slice, partition_key_space
 from repro.sim import MS, S, Simulator
@@ -202,11 +203,11 @@ def test_scan_plan_covers_requested_range_only():
 def test_replication_recovers_from_injected_failures():
     sim = Simulator()
     servers = [sdf_server(sim, n_slices=1) for _ in range(4)]
+    plan = FaultPlan(seed=7).add(
+        "replication", READ_UNCORRECTABLE, rate=0.3
+    )
     replicated = ReplicatedKV(
-        sim,
-        servers,
-        read_failure_rate=0.3,
-        rng=np.random.default_rng(7),
+        sim, servers, faults=plan.injector("replication")
     )
 
     def scenario():
@@ -226,8 +227,11 @@ def test_replication_recovers_from_injected_failures():
 def test_replication_total_failure_raises():
     sim = Simulator()
     servers = [sdf_server(sim, n_slices=1)]
+    plan = FaultPlan(seed=1).add(
+        "replication", READ_UNCORRECTABLE, rate=0.999
+    )
     replicated = ReplicatedKV(
-        sim, servers, read_failure_rate=0.999, rng=np.random.default_rng(1)
+        sim, servers, faults=plan.injector("replication")
     )
 
     def scenario():
@@ -244,4 +248,5 @@ def test_replication_validation():
     with pytest.raises(ValueError):
         ReplicatedKV(sim, [])
     with pytest.raises(ValueError):
-        ReplicatedKV(sim, [object()], read_failure_rate=0.5)  # no rng
+        # fixed server list and a dynamic router are mutually exclusive
+        ReplicatedKV(sim, [object()], router=lambda: [object()])

@@ -15,7 +15,7 @@ from repro.faults import (
 )
 from repro.kv.lsm import LSMTree
 from repro.kv.slice import KeyRange, Slice
-from repro.obs import Observability, attach_server, attach_system
+from repro.obs import Observability
 from repro.sim import MS, Simulator
 
 
@@ -30,8 +30,8 @@ def run_workload(with_empty_plan: bool):
         n_channels=4,
     )
     network = Network(sim)
-    attach_system(obs, server.system)
-    attach_server(obs, server)
+    server.system.attach(obs)
+    server.attach(obs)
     plan = None
     if with_empty_plan:
         plan = FaultPlan(seed=2024)

@@ -12,14 +12,14 @@ import pytest
 
 from repro import build_sdf_system
 from repro.ecc.model import EccModel, ReadStatus
-from repro.obs import Observability, attach_device, attach_ecc, attach_system
+from repro.obs import Observability, attach_device, attach_ecc
 from repro.sim import MS, Simulator
 
 
 def run_workload(obs=None, n_channels=4):
-    system = build_sdf_system(capacity_scale=0.004, n_channels=n_channels)
-    if obs is not None:
-        attach_system(obs, system)
+    system = build_sdf_system(
+        capacity_scale=0.004, n_channels=n_channels, obs=obs
+    )
     ids = [system.put(b"payload-%d" % index) for index in range(2 * n_channels)]
     for block_id in ids[: n_channels]:
         system.get(block_id, 0, 4096)

@@ -11,13 +11,12 @@ import json
 from repro.cluster import Network, Nic, build_sdf_server
 from repro.kv.lsm import LSMTree
 from repro.kv.slice import KeyRange, Slice
-from repro.obs import Observability, attach_server, attach_system
+from repro.obs import Observability
 from repro.qos import (
     ChannelQosConfig,
     QosPlan,
     WriteStallConfig,
     attach_server_qos,
-    attach_system_qos,
 )
 from repro.sim import MS, Simulator
 
@@ -33,8 +32,8 @@ def run_workload(with_empty_plan: bool):
         n_channels=4,
     )
     network = Network(sim)
-    attach_system(obs, server.system)
-    attach_server(obs, server)
+    server.system.attach(obs)
+    server.attach(obs)
     plan = None
     if with_empty_plan:
         # Sub-configs whose every knob is None count as empty too.
@@ -44,7 +43,7 @@ def run_workload(with_empty_plan: bool):
         )
         assert plan.empty
         attach_server_qos(plan, server, name="node0")
-        attach_system_qos(plan, server.system)
+        server.system.attach(plan)
         plan.attach_obs(obs)
     client = Nic(sim, name="client")
     value = b"drift" * 1024  # 5 KB

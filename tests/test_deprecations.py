@@ -1,0 +1,52 @@
+"""The legacy per-plane ``attach_system*`` entry points survive as
+thin shims: they must still wire correctly, must warn, and the unified
+replacement surface must stay warning-free (CI runs a tier-1 leg with
+``-W error::DeprecationWarning`` to hold the line).
+"""
+
+import warnings
+
+import pytest
+
+from repro import build_sdf_system
+from repro.faults import FaultPlan, attach_system_faults
+from repro.obs import Observability, attach_system
+from repro.qos import QosPlan, attach_system_qos
+
+
+def small_system(**kwargs):
+    return build_sdf_system(capacity_scale=0.004, n_channels=2, **kwargs)
+
+
+def test_attach_system_warns_but_still_wires():
+    system = small_system()
+    obs = Observability()
+    with pytest.warns(DeprecationWarning, match="SDFSystem.attach"):
+        attach_system(obs, system)
+    system.put(b"d" * 512)
+    assert obs.snapshot(system.sim.now)["blk.writes"] == 1
+
+
+def test_attach_system_faults_warns_but_still_wires():
+    system = small_system()
+    plan = FaultPlan(seed=4)
+    with pytest.warns(DeprecationWarning, match="SDFSystem.attach"):
+        attach_system_faults(plan, system)
+    system.put(b"d" * 512)  # injectors in place, nothing fires
+
+
+def test_attach_system_qos_warns_but_still_wires():
+    system = small_system()
+    plan = QosPlan()
+    with pytest.warns(DeprecationWarning, match="SDFSystem.attach"):
+        attach_system_qos(plan, system)
+    system.put(b"d" * 512)
+
+
+def test_unified_surface_is_warning_free():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        obs = Observability()
+        system = small_system(obs=obs, faults=FaultPlan(seed=5), qos=QosPlan())
+        system.attach(Observability())
+        system.put(b"d" * 512)
