@@ -1,0 +1,237 @@
+"""Fleet-day scenario: every plane at once, judged per tenant.
+
+The paper's system serves "heavy traffic from millions of users" on
+shared flash, and its argument is architectural: predictable service
+under skew, traffic waves and hardware faults *simultaneously*, not in
+isolated microbenchmarks.  This benchmark runs the production workload
+engine's fleet-day scenario over a small SDF cluster:
+
+* three tenants -- a latency-sensitive read-mostly web tier on a
+  zipfian keyspace with a diurnal wave, a write-heavy bulk tier that
+  gets hit by a flash crowd, and a scan-heavy analytics tier on a
+  shifting hot set;
+* a crash burst on one node and a brownout on another, mid-wave;
+* the QoS plane (admission control + write stalls + circuit breakers)
+  and the control-plane rebalancer active throughout.
+
+Reported per tenant, through ``repro.obs``: goodput (completed within
+the tenant's deadline), p50/p99 latency, and shed counts.  The run is
+seeded and byte-identical across repeats -- asserted below by running
+the whole fleet day twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from _bench_common import emit, run_once
+
+from repro.obs import Observability
+from repro.qos import (
+    AdmissionConfig,
+    BreakerConfig,
+    QosPlan,
+    WriteStallConfig,
+)
+from repro.sim.units import MS
+from repro.workloads import (
+    DiurnalWave,
+    FaultBurst,
+    HotSetShiftKeyModel,
+    RateSchedule,
+    Scenario,
+    SizeDistribution,
+    SloSpec,
+    Spike,
+    TenantSpec,
+    UniformKeyModel,
+    YCSB_A,
+    YCSB_B,
+    YCSB_E,
+    ZipfianKeyModel,
+    run_scenario,
+)
+
+#: CI smoke runs shrink the day via this env var (simulated ms).
+DURATION_MS = int(os.environ.get("FLEET_DAY_DURATION_MS", "600"))
+#: Optional path to dump the canonical per-tenant JSON report.
+JSON_PATH = os.environ.get("FLEET_DAY_JSON", "")
+
+KEY_SPAN = 60_000
+SEED = 29
+
+
+def make_scenario() -> Scenario:
+    duration = DURATION_MS * MS
+    tenants = (
+        # Latency-sensitive web tier: read-mostly, zipfian-hot keys,
+        # load swells and ebbs through the day.  Its keyspace covers
+        # only the first third of the cluster's range -- tenants rarely
+        # span a whole fleet -- which is what gives the rebalancer
+        # node-level skew to chase.
+        TenantSpec(
+            name="web",
+            mix=YCSB_B,
+            keys=ZipfianKeyModel(0, KEY_SPAN // 3, theta=0.99),
+            sizes=SizeDistribution(fixed=16 * 1024),
+            arrivals=RateSchedule(
+                base_rps=400.0,
+                wave=DiurnalWave(amplitude=0.4, period_ns=duration),
+            ),
+            slo=SloSpec(
+                deadline_ns=40 * MS,
+                target_p99_ns=40 * MS,
+                min_goodput_rps=150.0,
+            ),
+        ),
+        # Bulk ingest tier: write-heavy, uniform keys, and a flash
+        # crowd that triples its rate mid-day.
+        TenantSpec(
+            name="bulk",
+            mix=YCSB_A,
+            keys=UniformKeyModel(0, KEY_SPAN),
+            sizes=SizeDistribution(lo=32 * 1024, hi=128 * 1024),
+            arrivals=RateSchedule(
+                base_rps=120.0,
+                spikes=(
+                    Spike(
+                        at_ns=duration * 2 // 5,
+                        duration_ns=duration // 5,
+                        multiplier=3.0,
+                    ),
+                ),
+            ),
+            slo=SloSpec(deadline_ns=80 * MS),
+        ),
+        # Analytics tier: scan-heavy over a hot set that shifts.  A
+        # scan's backing read is a whole 8 MB patch (~200 ms on one
+        # channel), so its rate and deadline sit in patch-read units,
+        # not point-read units.
+        TenantSpec(
+            name="analytics",
+            mix=YCSB_E,
+            keys=HotSetShiftKeyModel(
+                0,
+                KEY_SPAN,
+                hot_keys=8_192,
+                hot_weight=0.5,
+                shift_period_ns=duration // 3,
+            ),
+            sizes=SizeDistribution(fixed=8 * 1024),
+            arrivals=RateSchedule(base_rps=12.0),
+            slo=SloSpec(deadline_ns=600 * MS),
+            scan_span=128,
+        ),
+    )
+    return Scenario(
+        name="fleet-day",
+        tenants=tenants,
+        duration_ns=duration,
+        n_nodes=3,
+        n_slices=6,
+        key_span=KEY_SPAN,
+        seed=SEED,
+        faults=(
+            # One node crashes during the wave's rising edge; another
+            # browns out (10x slower device) during the flash crowd.
+            FaultBurst(
+                node=1,
+                at_ns=duration * 2 // 5,
+                duration_ns=duration // 6,
+                kind="crash",
+            ),
+            FaultBurst(
+                node=2,
+                at_ns=duration // 2,
+                duration_ns=duration // 6,
+                kind="brownout",
+                multiplier=10.0,
+            ),
+        ),
+        rebalance_every_ns=duration // 4,
+        rebalance_imbalance=1.8,
+    )
+
+
+def make_qos() -> QosPlan:
+    """A fresh QoS plan (plans hold per-run registries; never reuse)."""
+    return QosPlan(
+        admission=AdmissionConfig(
+            max_reads=64, max_writes=32, max_scans=16
+        ),
+        write_stall=WriteStallConfig(),
+        breaker=BreakerConfig(failure_threshold=5, reset_ns=50 * MS),
+    )
+
+
+def run_fleet_day():
+    obs = Observability()
+    result = run_scenario(make_scenario(), qos=make_qos(), obs=obs)
+    return result
+
+
+def test_fleet_day(benchmark):
+    result = run_once(benchmark, run_fleet_day)
+
+    # Byte-identical determinism: the same scenario + seed replayed from
+    # scratch produces the same canonical report, to the byte.
+    replay = run_fleet_day()
+    assert result.to_json() == replay.to_json(), (
+        "fleet-day scenario is not deterministic across reruns"
+    )
+
+    rows = []
+    for name, report in sorted(result.tenants.items()):
+        rows.append([
+            name,
+            report.offered,
+            report.good,
+            report.late,
+            report.shed,
+            f"{report.goodput_rps:.0f}",
+            f"{report.p50_ms:.2f}",
+            f"{report.p99_ms:.2f}",
+            f"{report.deadline_ms:.0f}",
+        ])
+    emit(
+        benchmark,
+        f"Fleet day: {DURATION_MS} ms, 3 nodes, 3 tenants, crash + "
+        "brownout bursts, rebalancer on",
+        ["tenant", "offered", "good", "late", "shed", "goodput rps",
+         "p50 ms", "p99 ms", "deadline ms"],
+        rows,
+        report=json.loads(result.to_json()),
+        duration_ms=DURATION_MS,
+        seed=SEED,
+    )
+    if JSON_PATH:
+        with open(JSON_PATH, "w") as fh:
+            fh.write(result.to_json())
+
+    # Both scheduled faults fired.
+    assert result.faults_fired == 2, (
+        f"expected crash + brownout to fire, got {result.faults_fired}"
+    )
+    # The rebalancer actually moved load (the crash + skew guarantee an
+    # imbalance for it to chase).
+    assert result.rebalance_moves + result.migrations_completed >= 1, (
+        "the rebalancer never moved a slice"
+    )
+    # Every tenant made progress and was measured through repro.obs.
+    snapshot = result.snapshot
+    for tenant in ("web", "bulk", "analytics"):
+        report = result.tenants[tenant]
+        assert report.offered > 0, f"{tenant}: no load offered"
+        assert report.good > 0, f"{tenant}: nothing completed in time"
+        latency = snapshot.get(f"tenant.{tenant}.request_ns")
+        assert latency and latency["count"] > 0, (
+            f"{tenant}: no per-tenant latency histogram in the registry"
+        )
+        assert report.p99_ms > 0.0, f"{tenant}: p99 not reported"
+    # Server-side per-tenant labels flowed through the request path.
+    assert any(
+        key.startswith("tenant.web.get") for key in snapshot
+    ), "per-tenant server-side request labels missing from obs"
+    # The system drained: the clock stopped at the last completed event.
+    assert result.sim_end_ns > 0

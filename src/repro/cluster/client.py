@@ -87,6 +87,7 @@ class KVClient:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         router=None,
+        tenant: Optional[str] = None,
     ):
         self.sim = sim
         self.network = network
@@ -94,6 +95,9 @@ class KVClient:
         self.slice = slice_
         self.spec = spec
         self.router = router
+        #: Optional tenant label stamped on every request this client
+        #: issues, splitting server metrics and admission accounting.
+        self.tenant = tenant
         self.keys = keys if keys is not None else []
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.nic = Nic(sim, TEN_GBE_MB_S, lanes=1, name=name)
@@ -263,7 +267,10 @@ class KVClient:
             def sub_read(key):
                 server, entry = self.router.lookup(key)
                 value = yield from server.handle_get(
-                    key, deadline_ns=deadline_ns, epoch=entry.epoch
+                    key,
+                    deadline_ns=deadline_ns,
+                    epoch=entry.epoch,
+                    tenant=self.tenant,
                 )
                 yield from self.network.send(server.nic, self.nic, per_sub)
                 return value
@@ -285,6 +292,7 @@ class KVClient:
                     PlaceholderValue(spec.value_bytes),
                     deadline_ns=deadline_ns,
                     epoch=entry.epoch,
+                    tenant=self.tenant,
                 )
 
             subs = [
@@ -325,7 +333,7 @@ class KVClient:
 
             def sub_read(key):
                 value = yield from self.server.handle_get(
-                    key, deadline_ns=deadline_ns
+                    key, deadline_ns=deadline_ns, tenant=self.tenant
                 )
                 yield from self.network.send(
                     self.server.nic, self.nic, per_sub
@@ -348,6 +356,7 @@ class KVClient:
                             key,
                             PlaceholderValue(spec.value_bytes),
                             deadline_ns=deadline_ns,
+                            tenant=self.tenant,
                         )
                     )
                 )

@@ -13,7 +13,7 @@ control: convert unbounded queueing into fast, retriable rejection.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.faults.errors import TransientFault
 from repro.qos.config import AdmissionConfig, WriteStallConfig
@@ -52,6 +52,9 @@ class AdmissionController:
         self.deadline_sheds = Counter(f"qos.{name}.shed_deadline")
         self.write_stalls = Counter(f"qos.{name}.write_stalls")
         self.write_stops = Counter(f"qos.{name}.write_stops")
+        #: Per-tenant shed counters, created on first use for requests
+        #: that carry a tenant label (``qos.{name}.tenant.{t}.{what}``).
+        self._tenant_sheds: Dict[Tuple[str, str], Counter] = {}
         self.obs = None
 
     # -- observability ---------------------------------------------------------------
@@ -60,7 +63,8 @@ class AdmissionController:
         self.obs = obs
         registry = obs.metrics
         for counter in (*self.shed.values(), self.deadline_sheds,
-                        self.write_stalls, self.write_stops):
+                        self.write_stalls, self.write_stops,
+                        *self._tenant_sheds.values()):
             registry.register_counter(counter.name, counter)
         for cls in REQUEST_CLASSES:
             registry.register_callback(
@@ -74,19 +78,42 @@ class AdmissionController:
                 f"qos.{self.name}.depth_{request_class}s"
             ).update(self.sim.now, self.inflight[request_class])
 
-    def _record_miss(self, lateness_ns: int) -> None:
+    def _tenant_shed(self, tenant: str, what: str) -> Counter:
+        """The lazily created per-tenant shed counter."""
+        key = (tenant, what)
+        counter = self._tenant_sheds.get(key)
+        if counter is None:
+            counter = Counter(f"qos.{self.name}.tenant.{tenant}.{what}")
+            self._tenant_sheds[key] = counter
+            if self.obs is not None:
+                self.obs.metrics.register_counter(counter.name, counter)
+        return counter
+
+    def _record_miss(
+        self, lateness_ns: int, tenant: Optional[str] = None
+    ) -> None:
         self.deadline_sheds.add()
+        if tenant is not None:
+            self._tenant_shed(tenant, "shed_deadline").add()
         if self.obs is not None:
             self.obs.metrics.histogram(
                 f"qos.{self.name}.deadline_miss_ns"
             ).record(lateness_ns)
 
     # -- admission -------------------------------------------------------------------
-    def try_admit(self, request_class: str, deadline_ns: Optional[int]) -> None:
+    def try_admit(
+        self,
+        request_class: str,
+        deadline_ns: Optional[int],
+        tenant: Optional[str] = None,
+    ) -> None:
         """Admit one request or raise (shed).  Synchronous: no sim time.
 
         The caller must pair every successful admit with a
-        :meth:`release` (``try``/``finally``).
+        :meth:`release` (``try``/``finally``).  A ``tenant`` label
+        splits shed accounting by tenant (metrics only: limits stay
+        per-class, so one tenant's burst sheds whoever arrives next --
+        the fairness question the per-tenant counters make visible).
         """
         now = self.sim.now
         if (
@@ -94,13 +121,15 @@ class AdmissionController:
             and deadline_ns is not None
             and now > deadline_ns
         ):
-            self._record_miss(now - deadline_ns)
+            self._record_miss(now - deadline_ns, tenant)
             raise DeadlineExceededError(
                 f"{request_class} deadline passed {now - deadline_ns} ns ago"
             )
         limit = self.config.limit(request_class)
         if limit is not None and self.inflight[request_class] >= limit:
             self.shed[request_class].add()
+            if tenant is not None:
+                self._tenant_shed(tenant, f"shed_{request_class}s").add()
             raise RequestSheddedError(
                 f"{request_class} queue at its limit ({limit})"
             )
@@ -112,7 +141,9 @@ class AdmissionController:
         self.inflight[request_class] -= 1
         self._note_depth(request_class)
 
-    def expired(self, deadline_ns: Optional[int]) -> bool:
+    def expired(
+        self, deadline_ns: Optional[int], tenant: Optional[str] = None
+    ) -> bool:
         """Did this deadline pass while the request queued?  (Counts the
         miss when it did; the caller sheds.)"""
         if (
@@ -121,7 +152,7 @@ class AdmissionController:
             or self.sim.now <= deadline_ns
         ):
             return False
-        self._record_miss(self.sim.now - deadline_ns)
+        self._record_miss(self.sim.now - deadline_ns, tenant)
         return True
 
     # -- write stalls -----------------------------------------------------------------

@@ -75,7 +75,10 @@ class SizeDistribution:
                 weights = [w / total for w in self.weights]
             return int(rng.choice(self.choices, p=weights))
         log_lo, log_hi = np.log(self.lo), np.log(self.hi)
-        return int(np.exp(rng.uniform(log_lo, log_hi)))
+        # int() truncates and exp(log(x)) can round below x, so a draw at
+        # (or near) the boundary could fall outside the declared bounds.
+        return min(max(int(np.exp(rng.uniform(log_lo, log_hi))), self.lo),
+                   self.hi)
 
     def mean_estimate(self, rng: np.random.Generator, n: int = 2000) -> float:
         """Monte-Carlo estimate of the distribution's mean size."""

@@ -1,0 +1,511 @@
+"""Fleet-day scenarios: seeded, deterministic production workloads.
+
+This is the production workload engine the roadmap asks for: a scenario
+composes key-popularity models, YCSB-style per-tenant operation mixes,
+open-loop arrival schedules (diurnal waves, flash crowds), value-size
+distributions and per-tenant SLOs, and runs them against a multi-node
+cluster with every plane attached at once -- observability, fault
+injection, QoS admission/breakers and the control-plane rebalancer.
+
+The contract matches the rest of the repo's planes:
+
+* **Deterministic** -- a :class:`Scenario` plus its seed fully determines
+  the simulated run; :meth:`ScenarioResult.to_json` is byte-identical
+  across repeated runs.
+* **Composable** -- tenants are independent declarations; planes are
+  opt-in (``qos=None`` runs unprotected, ``faults`` empty runs clean).
+* **Reported through repro.obs** -- per-tenant goodput/latency live in
+  the metrics registry under ``tenant.{name}.*`` labels; the result
+  object is assembled *from* the registry snapshot, so anything the
+  report shows is also visible to metric-driven tooling.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TransientFault
+from repro.faults.injector import BROWNOUT, CRASH
+from repro.faults.plan import FaultPlan
+from repro.faults.runner import FaultRunner
+from repro.obs.attach import Observability
+from repro.sim import Simulator
+from repro.sim.units import MS, S
+from repro.workloads.arrivals import OpenLoopArrivals
+from repro.workloads.tenants import TenantSpec
+
+#: Bounded per-request retry budget (shed/drop/redirect recovery).
+MAX_ATTEMPTS = 6
+RETRY_BACKOFF_NS = 2 * MS
+
+
+@dataclass(frozen=True)
+class FaultBurst:
+    """One scheduled node fault inside a scenario.
+
+    ``node`` indexes the scenario's nodes (``n0``, ``n1``, ...);
+    ``kind`` is :data:`~repro.faults.injector.CRASH` or
+    :data:`~repro.faults.injector.BROWNOUT` (``multiplier`` applies to
+    brownouts only).
+    """
+
+    node: int
+    at_ns: int
+    duration_ns: int
+    kind: str = CRASH
+    multiplier: float = 10.0
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValueError("node index must be >= 0")
+        if self.at_ns < 0 or self.duration_ns < 1:
+            raise ValueError("need at_ns >= 0 and duration_ns >= 1")
+        if self.kind not in (CRASH, BROWNOUT):
+            raise ValueError(f"kind must be crash/brownout, got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative fleet-day: cluster shape + tenants + disruptions."""
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    duration_ns: int = S
+    n_nodes: int = 3
+    n_slices: int = 6
+    key_span: int = 60_000
+    seed: int = 0
+    faults: Tuple[FaultBurst, ...] = ()
+    #: Period of control-plane rebalance passes (None = rebalancer off).
+    rebalance_every_ns: Optional[int] = None
+    rebalance_imbalance: float = 2.5
+    #: Keys functionally preloaded per slice (read working set).
+    preload_keys_per_slice: int = 48
+    preload_value_bytes: int = 16 * 1024
+    memtable_bytes: int = 256 * 1024
+    #: Per-node device scale-down (see benchmarks/_bench_common.py).
+    capacity_scale: float = 0.01
+    n_channels: int = 4
+
+    def __post_init__(self):
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        if len({t.name for t in self.tenants}) != len(self.tenants):
+            raise ValueError("tenant names must be unique")
+        if self.n_nodes < 1 or self.n_slices < 1:
+            raise ValueError("need n_nodes >= 1 and n_slices >= 1")
+        if self.key_span < self.n_slices:
+            raise ValueError("key_span must cover at least one key per slice")
+        if self.duration_ns < 1:
+            raise ValueError("duration_ns must be >= 1")
+        for burst in self.faults:
+            if burst.node >= self.n_nodes:
+                raise ValueError(
+                    f"fault burst targets node {burst.node} but the "
+                    f"scenario has {self.n_nodes} nodes"
+                )
+        for tenant in self.tenants:
+            if tenant.keys.lo < 0 or tenant.keys.hi > self.key_span:
+                raise ValueError(
+                    f"tenant {tenant.name!r} key model "
+                    f"[{tenant.keys.lo}, {tenant.keys.hi}) outside the "
+                    f"scenario keyspace [0, {self.key_span})"
+                )
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant outcome summary (assembled from the obs registry)."""
+
+    name: str
+    offered: int = 0
+    good: int = 0
+    late: int = 0
+    shed: int = 0
+    retries: int = 0
+    goodput_rps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    deadline_ms: float = 0.0
+    p99_slo_ok: Optional[bool] = None
+    goodput_slo_ok: Optional[bool] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "offered": self.offered,
+            "good": self.good,
+            "late": self.late,
+            "shed": self.shed,
+            "retries": self.retries,
+            "goodput_rps": round(self.goodput_rps, 3),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "deadline_ms": round(self.deadline_ms, 4),
+            "p99_slo_ok": self.p99_slo_ok,
+            "goodput_slo_ok": self.goodput_slo_ok,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    seed: int
+    duration_ns: int
+    sim_end_ns: int
+    tenants: Dict[str, TenantReport] = field(default_factory=dict)
+    faults_fired: int = 0
+    migrations_completed: int = 0
+    migrations_aborted: int = 0
+    rebalance_moves: int = 0
+    snapshot: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """A canonical (sorted, byte-stable) JSON report."""
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "duration_ns": self.duration_ns,
+                "sim_end_ns": self.sim_end_ns,
+                "tenants": {
+                    name: report.as_dict()
+                    for name, report in sorted(self.tenants.items())
+                },
+                "faults_fired": self.faults_fired,
+                "migrations_completed": self.migrations_completed,
+                "migrations_aborted": self.migrations_aborted,
+                "rebalance_moves": self.rebalance_moves,
+            },
+            sort_keys=True,
+        )
+
+
+class ScenarioRunner:
+    """Builds the cluster, wires the planes, and drives one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        qos=None,
+        obs: Optional[Observability] = None,
+    ):
+        from repro.cluster.control import ClusterController
+        from repro.cluster.network import Network
+        from repro.cluster.node import build_sdf_server
+        from repro.kv.slice import KeyRange
+
+        self.scenario = scenario
+        self.qos = qos
+        self.sim = Simulator()
+        self.obs = obs if obs is not None else Observability()
+        self.network = Network(self.sim)
+        self.plan = FaultPlan(seed=scenario.seed)
+        for burst in scenario.faults:
+            kwargs = (
+                {"multiplier": burst.multiplier}
+                if burst.kind == BROWNOUT
+                else {}
+            )
+            self.plan.schedule(
+                f"n{burst.node}",
+                burst.kind,
+                burst.at_ns,
+                burst.duration_ns,
+                **kwargs,
+            )
+        self.ctrl = ClusterController(self.sim, self.network)
+        self.ctrl.attach(self.obs)
+        self.ctrl.attach(self.plan)
+        if qos is not None:
+            self.ctrl.attach(qos)
+        self.runner = FaultRunner(self.sim, self.plan)
+        self.breakers: Dict[str, object] = {}
+        for index in range(scenario.n_nodes):
+            name = f"n{index}"
+            server = build_sdf_server(
+                self.sim,
+                [],
+                capacity_scale=scenario.capacity_scale,
+                n_channels=scenario.n_channels,
+            )
+            self.ctrl.add_node(name, server)
+            server.attach(self.obs)
+            server.attach(self.plan, name=name)
+            if qos is not None:
+                server.attach(qos, name=name)
+                breaker = qos.make_breaker(self.sim, name=f"breaker.{name}")
+                if breaker is not None:
+                    self.breakers[name] = breaker
+            self.runner.bind(name, server)
+        # Slices partition [0, key_span), placed round-robin.
+        span = scenario.key_span
+        bounds = [
+            span * index // scenario.n_slices
+            for index in range(scenario.n_slices + 1)
+        ]
+        self._slice_los: List[int] = bounds[:-1]
+        node_names = sorted(self.ctrl.nodes)
+        for index in range(scenario.n_slices):
+            self.ctrl.create_slice(
+                KeyRange(bounds[index], bounds[index + 1]),
+                on=[node_names[index % len(node_names)]],
+                memtable_bytes=scenario.memtable_bytes,
+            )
+        self._preload()
+        self.outcomes = {
+            t.name: {"good": 0, "late": 0, "shed": 0, "retries": 0,
+                     "offered": 0}
+            for t in scenario.tenants
+        }
+
+    # -- setup -------------------------------------------------------------------------
+    def _preload(self) -> None:
+        """Functionally populate every slice's read working set."""
+        scenario = self.scenario
+        for name in sorted(self.ctrl.nodes):
+            server = self.ctrl.nodes[name]
+            for slice_ in server.slices:
+                lo = slice_.key_range.lo
+                count = min(
+                    scenario.preload_keys_per_slice,
+                    slice_.key_range.hi - lo,
+                )
+                server.preload(
+                    slice_,
+                    [lo + offset for offset in range(count)],
+                    scenario.preload_value_bytes,
+                )
+
+    def _quantize(self, key: int) -> int:
+        """Fold a raw key onto its slice's preloaded working set.
+
+        Read/scan keys must hit data; writes use the raw key.  The fold
+        keeps the slice (so skew still lands where the popularity model
+        put it) and wraps the offset into the preloaded prefix.
+        """
+        index = bisect.bisect_right(self._slice_los, key) - 1
+        lo = self._slice_los[index]
+        hi = (
+            self._slice_los[index + 1]
+            if index + 1 < len(self._slice_los)
+            else self.scenario.key_span
+        )
+        count = min(self.scenario.preload_keys_per_slice, hi - lo)
+        return lo + (key - lo) % count
+
+    # -- request execution -------------------------------------------------------------
+    def _one_request(self, tenant: TenantSpec, view, op, key, size, rng_seed):
+        """Generator: one open-loop request with bounded shed/retry."""
+        sim = self.sim
+        outcomes = self.outcomes[tenant.name]
+        metrics = self.obs.metrics
+        deadline = sim.now + tenant.slo.deadline_ns
+        start = sim.now
+        rng = np.random.default_rng(rng_seed)
+        for attempt in range(MAX_ATTEMPTS):
+            if attempt > 0:
+                outcomes["retries"] += 1
+                metrics.counter(f"tenant.{tenant.name}.retries").add(1)
+                backoff = RETRY_BACKOFF_NS << (attempt - 1)
+                yield sim.timeout(int(backoff * (1.0 + rng.random())))
+                view.refresh()
+            if sim.now > deadline:
+                break  # doomed: the SLO window is already gone
+            try:
+                server, entry = view.lookup(key)
+            except KeyError:
+                continue  # stale view names a since-split slice
+            breaker = self.breakers.get(self._node_name(server))
+            if breaker is not None and not breaker.allow():
+                continue  # fast local failure; retry elsewhere/later
+            try:
+                if op == "read":
+                    yield from server.handle_get(
+                        key,
+                        deadline_ns=deadline,
+                        epoch=entry.epoch,
+                        tenant=tenant.name,
+                    )
+                elif op == "write":
+                    from repro.kv.common import PlaceholderValue
+
+                    yield from server.handle_put(
+                        key,
+                        PlaceholderValue(size),
+                        deadline_ns=deadline,
+                        epoch=entry.epoch,
+                        tenant=tenant.name,
+                    )
+                else:  # scan
+                    yield from self._scan(
+                        server, tenant, key, deadline
+                    )
+            except (TransientFault, KeyError):
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            latency = sim.now - start
+            metrics.histogram(f"tenant.{tenant.name}.request_ns").record(
+                latency
+            )
+            if sim.now <= deadline:
+                outcomes["good"] += 1
+                metrics.counter(f"tenant.{tenant.name}.good").add(1)
+            else:
+                outcomes["late"] += 1
+                metrics.counter(f"tenant.{tenant.name}.late").add(1)
+            return
+        outcomes["shed"] += 1
+        metrics.counter(f"tenant.{tenant.name}.shed").add(1)
+
+    def _scan(self, server, tenant: TenantSpec, key: int, deadline: int):
+        """One scan: plan the range, read at most one backing patch."""
+        hi = min(key + tenant.scan_span, self.scenario.key_span)
+        if hi <= key:
+            hi = key + 1
+        plan = server.scan_plan(key, hi)
+        for slice_, _memory_items, runs in plan:
+            if runs:
+                yield from server.handle_patch_read(
+                    runs[0].handle,
+                    slice_=slice_,
+                    deadline_ns=deadline,
+                    tenant=tenant.name,
+                )
+                return
+        # Entirely memory-resident: charge one dispatch quantum.
+        yield self.sim.timeout(server.per_request_cpu_ns)
+
+    def _node_name(self, server) -> Optional[str]:
+        for name, node in self.ctrl.nodes.items():
+            if node is server:
+                return name
+        return None
+
+    def _tenant_driver(self, tenant: TenantSpec, index: int):
+        """Open-loop arrivals: spawn one request process per arrival.
+
+        Every random draw happens *here*, in arrival order, so the
+        request interleaving downstream can never perturb the sampled
+        workload -- the key to byte-identical reruns.
+        """
+        sim = self.sim
+        scenario = self.scenario
+        rng = np.random.default_rng([scenario.seed, index])
+        view = self.ctrl.view()
+        arrivals = OpenLoopArrivals(tenant.arrivals)
+        outcomes = self.outcomes[tenant.name]
+        metrics = self.obs.metrics
+        for at_ns in arrivals.times(rng, 0, scenario.duration_ns):
+            delay = at_ns - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            op = tenant.mix.sample(rng)
+            key = tenant.keys.sample(rng, sim.now)
+            if op != "write":
+                key = self._quantize(key)
+            size = tenant.sizes.sample(rng)
+            seed = int(rng.integers(0, 2**31))
+            outcomes["offered"] += 1
+            metrics.counter(f"tenant.{tenant.name}.offered").add(1)
+            sim.process(
+                self._one_request(tenant, view, op, key, size, seed)
+            )
+
+    def _rebalancer(self):
+        """Periodic load-driven rebalance passes for the whole run."""
+        scenario = self.scenario
+        while self.sim.now < scenario.duration_ns:
+            yield self.sim.timeout(scenario.rebalance_every_ns)
+            try:
+                yield from self.ctrl.rebalance(
+                    imbalance=scenario.rebalance_imbalance
+                )
+            except (TransientFault, KeyError):
+                # An injected abort or a node crash mid-migration:
+                # routing rolled back; try again next pass.
+                pass
+
+    # -- run ---------------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        scenario = self.scenario
+        self.runner.start()
+        for index, tenant in enumerate(scenario.tenants):
+            self.sim.process(self._tenant_driver(tenant, index))
+        if scenario.rebalance_every_ns is not None:
+            self.sim.process(self._rebalancer())
+        # Drain: drivers stop issuing at duration_ns; in-flight
+        # requests, retries, flushes and migrations run to completion.
+        self.sim.run()
+        return self._report()
+
+    def _report(self) -> ScenarioResult:
+        scenario = self.scenario
+        snapshot = self.obs.metrics.snapshot(self.sim.now)
+        result = ScenarioResult(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            duration_ns=scenario.duration_ns,
+            sim_end_ns=self.sim.now,
+            faults_fired=self.plan.fault_count(),
+            migrations_completed=self.ctrl.migrations_completed.value,
+            migrations_aborted=self.ctrl.migrations_aborted.value,
+            rebalance_moves=self.ctrl.rebalance_moves.value,
+            snapshot=snapshot,
+        )
+        duration_s = scenario.duration_ns / 1e9
+        for tenant in scenario.tenants:
+            # Assembled *from the registry*: the per-tenant labels the
+            # servers and drivers recorded are the source of truth.
+            latency = snapshot.get(
+                f"tenant.{tenant.name}.request_ns", {"count": 0}
+            )
+            report = TenantReport(
+                name=tenant.name,
+                offered=int(
+                    snapshot.get(f"tenant.{tenant.name}.offered", 0)
+                ),
+                good=int(snapshot.get(f"tenant.{tenant.name}.good", 0)),
+                late=int(snapshot.get(f"tenant.{tenant.name}.late", 0)),
+                shed=int(snapshot.get(f"tenant.{tenant.name}.shed", 0)),
+                retries=int(
+                    snapshot.get(f"tenant.{tenant.name}.retries", 0)
+                ),
+                deadline_ms=tenant.slo.deadline_ns / 1e6,
+            )
+            report.goodput_rps = report.good / duration_s
+            if latency["count"]:
+                report.p50_ms = latency["p50"] / 1e6
+                report.p99_ms = latency["p99"] / 1e6
+            if tenant.slo.target_p99_ns is not None:
+                report.p99_slo_ok = bool(
+                    latency["count"]
+                    and latency["p99"] <= tenant.slo.target_p99_ns
+                )
+            if tenant.slo.min_goodput_rps is not None:
+                report.goodput_slo_ok = bool(
+                    report.goodput_rps >= tenant.slo.min_goodput_rps
+                )
+            result.tenants[tenant.name] = report
+        return result
+
+
+def run_scenario(
+    scenario: Scenario,
+    qos=None,
+    obs: Optional[Observability] = None,
+) -> ScenarioResult:
+    """Build, wire and run one scenario; returns its result."""
+    return ScenarioRunner(scenario, qos=qos, obs=obs).run()

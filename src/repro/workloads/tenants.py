@@ -1,0 +1,116 @@
+"""Multi-tenant workload declarations: operation mixes and SLOs.
+
+RackBlox's case for software-defined storage evaluation is that tenants
+share the device *and* interfere: a read-heavy latency-sensitive tenant
+co-resides with a write-heavy bulk tenant, and the system's QoS story is
+judged per tenant, not in aggregate.  A :class:`TenantSpec` bundles
+everything one tenant contributes to a scenario:
+
+* a YCSB-style :class:`OpMix` (read/write/scan ratios);
+* a key-popularity model (:mod:`repro.workloads.keys`);
+* a value-size distribution (:mod:`repro.workloads.distributions`);
+* an arrival :class:`~repro.workloads.arrivals.RateSchedule`;
+* an :class:`SloSpec` -- the deadline stamped on its requests and the
+  targets its goodput/p99 are judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.units import MS
+from repro.workloads.arrivals import RateSchedule
+from repro.workloads.distributions import SizeDistribution
+from repro.workloads.keys import KeyModel
+
+#: Operation kinds a tenant mix may weight.
+OP_KINDS = ("read", "write", "scan")
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """YCSB-style operation ratios (normalised at construction)."""
+
+    read: float = 1.0
+    write: float = 0.0
+    scan: float = 0.0
+
+    def __post_init__(self):
+        total = self.read + self.write + self.scan
+        if total <= 0 or min(self.read, self.write, self.scan) < 0:
+            raise ValueError("mix weights must be >= 0 and sum > 0")
+        object.__setattr__(self, "read", self.read / total)
+        object.__setattr__(self, "write", self.write / total)
+        object.__setattr__(self, "scan", self.scan / total)
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Draw one operation kind according to the ratios."""
+        draw = rng.random()
+        if draw < self.read:
+            return "read"
+        if draw < self.read + self.write:
+            return "write"
+        return "scan"
+
+    def ratio(self, kind: str) -> float:
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        return getattr(self, kind)
+
+
+#: YCSB-A: 50/50 read/update.
+YCSB_A = OpMix(read=0.5, write=0.5)
+#: YCSB-B: 95/5 read-mostly.
+YCSB_B = OpMix(read=0.95, write=0.05)
+#: YCSB-C: read-only.
+YCSB_C = OpMix(read=1.0)
+#: YCSB-E-ish: scan-heavy with a write trickle.
+YCSB_E = OpMix(read=0.0, write=0.05, scan=0.95)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One tenant's service-level objective.
+
+    ``deadline_ns`` is stamped on every request (admission control sheds
+    what cannot finish in time); ``target_p99_ns``/``min_goodput_rps``
+    are the report-card thresholds the scenario report annotates --
+    declared here, judged by the caller.
+    """
+
+    deadline_ns: int = 50 * MS
+    target_p99_ns: Optional[int] = None
+    min_goodput_rps: Optional[float] = None
+
+    def __post_init__(self):
+        if self.deadline_ns < 1:
+            raise ValueError("deadline_ns must be >= 1")
+        if self.target_p99_ns is not None and self.target_p99_ns < 1:
+            raise ValueError("target_p99_ns must be >= 1 or None")
+        if self.min_goodput_rps is not None and self.min_goodput_rps <= 0:
+            raise ValueError("min_goodput_rps must be > 0 or None")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything one tenant contributes to a scenario."""
+
+    name: str
+    mix: OpMix
+    keys: KeyModel
+    sizes: SizeDistribution
+    arrivals: RateSchedule
+    slo: SloSpec = SloSpec()
+    #: Consecutive keys touched by one scan operation.
+    scan_span: int = 64
+
+    def __post_init__(self):
+        if not self.name or "." in self.name or "/" in self.name:
+            raise ValueError(
+                f"tenant name must be non-empty without './': {self.name!r}"
+            )
+        if self.scan_span < 1:
+            raise ValueError("scan_span must be >= 1")
