@@ -212,13 +212,16 @@ class ClusterController:
         * ``FaultPlan`` -- the plan's ``migration`` site drives the
           phase-boundary abort points;
         * ``QosPlan`` -- its :class:`~repro.qos.config.MigrationConfig`
-          becomes the copy budget.
+          becomes the copy budget;
+        * ``PolicyPlan`` -- the controller becomes the plan's
+          control-plane actuator (rebalance, split, migration pacing).
 
         Node-level planes are attached per node via
         :meth:`StorageServer.attach`, not here.
         """
         from repro.faults.plan import FaultPlan
         from repro.obs.attach import Observability
+        from repro.policy.engine import PolicyPlan
         from repro.qos.config import QosPlan
 
         if isinstance(plane, Observability):
@@ -244,10 +247,12 @@ class ClusterController:
             self.faults = plane.injector(MIGRATION_SITE)
         elif isinstance(plane, QosPlan):
             self.migration_budget = plane.migration
+        elif isinstance(plane, PolicyPlan):
+            plane._bind_controller(self)
         else:
             raise TypeError(
                 f"don't know how to attach {type(plane).__name__}; expected "
-                "Observability, FaultPlan or QosPlan"
+                "Observability, FaultPlan, QosPlan or PolicyPlan"
             )
         return self
 

@@ -118,12 +118,15 @@ class StorageServer:
           underneath gain their injectors (sites ``{name}.*``);
         * :class:`repro.qos.QosPlan` -- admission control/write stalls
           on this server plus channel bounds below it (metrics prefixed
-          ``{name}``).
+          ``{name}``);
+        * :class:`repro.policy.PolicyPlan` -- the server is recorded
+          under ``name`` as an actuator target for policy actions.
 
         Returns ``self`` so attachments chain fluently.
         """
         from repro.faults.plan import FaultPlan
         from repro.obs.attach import Observability
+        from repro.policy.engine import PolicyPlan
         from repro.qos.config import QosPlan
 
         if isinstance(plane, Observability):
@@ -136,10 +139,12 @@ class StorageServer:
             from repro.qos.wire import attach_server_qos
 
             attach_server_qos(plane, self, name=name)
+        elif isinstance(plane, PolicyPlan):
+            plane._bind_server(name, self)
         else:
             raise TypeError(
                 f"don't know how to attach {type(plane).__name__}; expected "
-                "Observability, FaultPlan or QosPlan"
+                "Observability, FaultPlan, QosPlan or PolicyPlan"
             )
         return self
 

@@ -55,7 +55,9 @@ class SDFSystem:
         * :class:`repro.faults.FaultPlan` -- chip/engine/FTL/link fault
           injectors (sites under ``prefix``);
         * :class:`repro.qos.QosPlan` -- channel and block-layer bounds
-          (metrics under ``prefix``).
+          (metrics under ``prefix``);
+        * :class:`repro.policy.PolicyPlan` -- declarative self-tuning
+          rules (the plan records this system as an actuator target).
 
         Returns ``self`` so attachments chain::
 
@@ -64,6 +66,7 @@ class SDFSystem:
         """
         from repro.faults.plan import FaultPlan
         from repro.obs.attach import Observability, _wire_system
+        from repro.policy.engine import PolicyPlan
         from repro.qos.config import QosPlan
 
         if isinstance(plane, Observability):
@@ -76,10 +79,12 @@ class SDFSystem:
             from repro.qos.wire import _wire_system_qos
 
             _wire_system_qos(plane, self, prefix=prefix)
+        elif isinstance(plane, PolicyPlan):
+            plane._bind_system(self)
         else:
             raise TypeError(
                 f"don't know how to attach {type(plane).__name__}; expected "
-                "Observability, FaultPlan or QosPlan"
+                "Observability, FaultPlan, QosPlan or PolicyPlan"
             )
         return self
 

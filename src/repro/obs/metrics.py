@@ -136,6 +136,34 @@ class MetricsRegistry:
         )
 
     # -- reading ---------------------------------------------------------------
+    def peek(self, name: str, now_ns: Optional[int] = None, default=None):
+        """Read one metric *without creating it* (policy-engine reads).
+
+        Returns the same shape :meth:`snapshot` would give the name --
+        counter/gauge value, histogram summary dict, time-weighted
+        average, callback result -- or ``default`` when no metric of
+        that name exists.  Unlike the accessors above, a peek at an
+        unknown name leaves the registry untouched, so reading a metric
+        before the first event never perturbs later snapshots.
+        """
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.value
+        histogram = self._histograms.get(name)
+        if histogram is not None:
+            return histogram.summary()
+        signal = self._time_weighted.get(name)
+        if signal is not None:
+            at = now_ns if now_ns is not None else signal._last_time
+            return signal.average(at)
+        fn = self._callbacks.get(name)
+        if fn is not None:
+            return fn(now_ns)
+        return default
+
     def snapshot(self, now_ns: Optional[int] = None) -> dict:
         """Flatten every metric into ``{name: value}``.
 

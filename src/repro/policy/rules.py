@@ -1,0 +1,190 @@
+"""Declarative when-condition-then-action rules with a no-flap contract.
+
+Crystal-Controller's insight (and RackBlox's at rack scale) is that a
+software-defined storage system should reconfigure itself from live
+metrics through *declarative* rules, not operator intervention.  A
+:class:`Rule` here is one such statement: a signal read from the
+observability plane, a :class:`Hysteresis` band describing when the
+condition counts as raised, a cooldown window, and an actuator action.
+
+The flap-prevention automaton lives in :class:`RuleState`, deliberately
+free of any simulator or registry dependency so the Hypothesis property
+suite (``tests/policy/test_rule_properties.py``) can drive it with
+arbitrary metric streams.  Its contract:
+
+* **hysteresis** -- a fire requires the signal to cross the ``upper``
+  threshold; after a fire the rule is *disarmed* until the signal falls
+  back to ``lower``.  A signal oscillating strictly inside the
+  ``(lower, upper)`` band therefore never fires.
+* **dwell** -- with ``for_ns`` set, the signal must sit at or above
+  ``upper`` *continuously* for that long before the rule fires (a
+  single excursion back into the band resets the clock).
+* **cooldown** -- two fires of one rule are always at least
+  ``cooldown_ns`` apart, no matter what the signal does.
+
+``direction="below"`` mirrors everything for falling-edge rules
+("pressure dropped -> relax the limits again"): fire at or below
+``lower``, re-arm at or above ``upper``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+#: Outcomes of one automaton observation, in increasing "interest".
+IDLE = "idle"  #: condition not raised (or just re-armed)
+PENDING = "pending"  #: raised, accumulating the ``for_ns`` dwell
+SUPPRESSED_HYSTERESIS = "suppressed_hysteresis"  #: raised but disarmed
+SUPPRESSED_COOLDOWN = "suppressed_cooldown"  #: ready but inside cooldown
+SUPPRESSED_BUSY = "suppressed_busy"  #: ready but the action still runs
+FIRED = "fired"  #: the rule fired; the action runs
+
+OUTCOMES = (
+    IDLE,
+    PENDING,
+    SUPPRESSED_HYSTERESIS,
+    SUPPRESSED_COOLDOWN,
+    SUPPRESSED_BUSY,
+    FIRED,
+)
+
+
+@dataclass(frozen=True)
+class Hysteresis:
+    """The band that separates "raised" from "re-armed".
+
+    For the default rising-edge ``direction="above"``: the condition is
+    raised while the signal is ``>= upper`` and the rule re-arms when it
+    falls to ``<= lower``.  ``for_ns`` is the dwell: how long the
+    condition must stay raised, continuously, before a fire.
+    """
+
+    upper: float
+    lower: float
+    for_ns: int = 0
+    direction: str = "above"
+
+    def __post_init__(self):
+        if self.lower > self.upper:
+            raise ValueError(
+                f"need lower <= upper, got ({self.lower}, {self.upper})"
+            )
+        if self.for_ns < 0:
+            raise ValueError("for_ns must be >= 0")
+        if self.direction not in ("above", "below"):
+            raise ValueError(
+                f"direction must be 'above' or 'below', got {self.direction!r}"
+            )
+
+    def raised(self, value: float) -> bool:
+        """Is the condition raised at this signal value?"""
+        if self.direction == "above":
+            return value >= self.upper
+        return value <= self.lower
+
+    def rearms(self, value: float) -> bool:
+        """Does this signal value re-arm a disarmed rule?"""
+        if self.direction == "above":
+            return value <= self.lower
+        return value >= self.upper
+
+
+class RuleState:
+    """The per-rule no-flap automaton (pure state machine, no I/O).
+
+    Feed it one ``(now_ns, value)`` observation per evaluation tick via
+    :meth:`observe`; it returns one of the outcome constants above and
+    updates :attr:`fires` / :attr:`last_fire_ns`.  ``blocked=True``
+    tells the automaton the rule's action from a previous fire is still
+    running: a would-be fire is then suppressed *without* consuming the
+    cooldown or disarming, so the rule retries on the next tick.
+    """
+
+    def __init__(self, hysteresis: Hysteresis, cooldown_ns: int = 0):
+        if cooldown_ns < 0:
+            raise ValueError("cooldown_ns must be >= 0")
+        self.hysteresis = hysteresis
+        self.cooldown_ns = cooldown_ns
+        self.armed = True
+        self.raised_since: Optional[int] = None
+        self.last_fire_ns: Optional[int] = None
+        self.fires = 0
+
+    def observe(self, now_ns: int, value: float, blocked: bool = False) -> str:
+        band = self.hysteresis
+        if band.raised(value):
+            if not self.armed:
+                return SUPPRESSED_HYSTERESIS
+            if self.raised_since is None:
+                self.raised_since = now_ns
+            if now_ns - self.raised_since < band.for_ns:
+                return PENDING
+            if (
+                self.last_fire_ns is not None
+                and now_ns - self.last_fire_ns < self.cooldown_ns
+            ):
+                return SUPPRESSED_COOLDOWN
+            if blocked:
+                return SUPPRESSED_BUSY
+            self.fires += 1
+            self.last_fire_ns = now_ns
+            self.armed = False
+            self.raised_since = None
+            return FIRED
+        # Back below the fire line: the dwell clock resets; dropping all
+        # the way through the band re-arms a disarmed rule.
+        self.raised_since = None
+        if band.rearms(value):
+            self.armed = True
+        return IDLE
+
+    def __repr__(self):
+        return (
+            f"RuleState(armed={self.armed}, fires={self.fires}, "
+            f"last_fire_ns={self.last_fire_ns})"
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declarative policy statement: when SIGNAL crosses BAND
+    (and stays there ``for_ns``), run ACTION, then hold off
+    ``cooldown_ns``.
+
+    ``signal`` is either a signal object with a ``read(ctx) -> float``
+    method (:mod:`repro.policy.signals`) or any callable taking the
+    :class:`~repro.policy.engine.PolicyContext`; ``action`` is an
+    action object with ``apply(ctx, rng)``
+    (:mod:`repro.policy.actions`) or a callable with the same shape.
+    """
+
+    name: str
+    signal: Union[Callable, object]
+    hysteresis: Hysteresis
+    action: Union[Callable, object]
+    cooldown_ns: int = 0
+    #: Free-form note carried into trace events (documentation only).
+    describe: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if not self.name or any(c in self.name for c in ".,/ \t\n"):
+            raise ValueError(
+                "rule name must be non-empty without '.', '/', ',' or "
+                f"whitespace (it keys policy.* metrics): {self.name!r}"
+            )
+        if self.cooldown_ns < 0:
+            raise ValueError("cooldown_ns must be >= 0")
+        if not (callable(self.signal) or hasattr(self.signal, "read")):
+            raise ValueError(f"rule {self.name!r}: signal is not readable")
+        if not (callable(self.action) or hasattr(self.action, "apply")):
+            raise ValueError(f"rule {self.name!r}: action is not applicable")
+
+    def read_signal(self, ctx) -> float:
+        reader = getattr(self.signal, "read", None)
+        if reader is not None:
+            return float(reader(ctx))
+        return float(self.signal(ctx))
+
+    def make_state(self) -> RuleState:
+        return RuleState(self.hysteresis, self.cooldown_ns)

@@ -140,18 +140,34 @@ class OpenLoopArrivals:
     def _poisson_times(self, rng, start_ns: int, end_ns: int):
         peak = self.schedule.peak_rate()
         t = float(start_ns)
+        last = None
         while True:
             # Exponential gap at the envelope rate, then thin.
             t += rng.exponential(1e9 / peak)
             if t >= end_ns:
                 return
             if rng.random() < self.schedule.rate_at(int(t)) / peak:
-                yield int(t)
+                at = int(t)
+                # Integer truncation can collapse sub-nanosecond gaps;
+                # timestamps are contractually *strictly* ascending.
+                if last is not None and at <= last:
+                    at = last + 1
+                    if at >= end_ns:
+                        return
+                last = at
+                yield at
 
     def _paced_times(self, start_ns: int, end_ns: int):
         t = float(start_ns)
+        last = None
         while t < end_ns:
-            yield int(t)
+            at = int(t)
+            if last is not None and at <= last:
+                at = last + 1
+                if at >= end_ns:
+                    return
+            last = at
+            yield at
             rate = self.schedule.rate_at(int(t))
             t += 1e9 / rate
 

@@ -167,6 +167,7 @@ class ScenarioResult:
     migrations_completed: int = 0
     migrations_aborted: int = 0
     rebalance_moves: int = 0
+    policy_fires: int = 0
     snapshot: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -185,6 +186,7 @@ class ScenarioResult:
                 "migrations_completed": self.migrations_completed,
                 "migrations_aborted": self.migrations_aborted,
                 "rebalance_moves": self.rebalance_moves,
+                "policy_fires": self.policy_fires,
             },
             sort_keys=True,
         )
@@ -198,6 +200,7 @@ class ScenarioRunner:
         scenario: Scenario,
         qos=None,
         obs: Optional[Observability] = None,
+        policy=None,
     ):
         from repro.cluster.control import ClusterController
         from repro.cluster.network import Network
@@ -206,6 +209,10 @@ class ScenarioRunner:
 
         self.scenario = scenario
         self.qos = qos
+        # An empty PolicyPlan must leave the run untouched (the no-drift
+        # contract every plane honours), so it is simply not wired.
+        self.policy = policy if policy is not None and policy.rules else None
+        self.policy_engine = None
         self.sim = Simulator()
         self.obs = obs if obs is not None else Observability()
         self.network = Network(self.sim)
@@ -228,6 +235,13 @@ class ScenarioRunner:
         self.ctrl.attach(self.plan)
         if qos is not None:
             self.ctrl.attach(qos)
+            # Mirror shed/stall/breaker counters into the registry:
+            # policy rules read them (``qos.{node}.shed_reads``), and
+            # operators get them in the result snapshot for free.
+            qos.attach_obs(self.obs)
+        if self.policy is not None:
+            self.ctrl.attach(self.policy)
+            self.policy.attach_obs(self.obs)
         self.runner = FaultRunner(self.sim, self.plan)
         self.breakers: Dict[str, object] = {}
         for index in range(scenario.n_nodes):
@@ -246,6 +260,8 @@ class ScenarioRunner:
                 breaker = qos.make_breaker(self.sim, name=f"breaker.{name}")
                 if breaker is not None:
                     self.breakers[name] = breaker
+            if self.policy is not None:
+                server.attach(self.policy, name=name)
             self.runner.bind(name, server)
         # Slices partition [0, key_span), placed round-robin.
         span = scenario.key_span
@@ -442,6 +458,15 @@ class ScenarioRunner:
     def run(self) -> ScenarioResult:
         scenario = self.scenario
         self.runner.start()
+        if self.policy is not None:
+            from repro.policy.engine import PolicyEngine
+
+            self.policy_engine = PolicyEngine(
+                self.policy, self.sim, obs=self.obs
+            )
+            # Stop ticking at duration_ns so the post-deadline drain is
+            # pure drain -- the engine never acts on a closing system.
+            self.policy_engine.start(until_ns=scenario.duration_ns)
         for index, tenant in enumerate(scenario.tenants):
             self.sim.process(self._tenant_driver(tenant, index))
         if scenario.rebalance_every_ns is not None:
@@ -463,6 +488,11 @@ class ScenarioRunner:
             migrations_completed=self.ctrl.migrations_completed.value,
             migrations_aborted=self.ctrl.migrations_aborted.value,
             rebalance_moves=self.ctrl.rebalance_moves.value,
+            policy_fires=(
+                self.policy_engine.total_fires
+                if self.policy_engine is not None
+                else 0
+            ),
             snapshot=snapshot,
         )
         duration_s = scenario.duration_ns / 1e9
@@ -506,6 +536,7 @@ def run_scenario(
     scenario: Scenario,
     qos=None,
     obs: Optional[Observability] = None,
+    policy=None,
 ) -> ScenarioResult:
     """Build, wire and run one scenario; returns its result."""
-    return ScenarioRunner(scenario, qos=qos, obs=obs).run()
+    return ScenarioRunner(scenario, qos=qos, obs=obs, policy=policy).run()

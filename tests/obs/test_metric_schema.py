@@ -1,0 +1,139 @@
+"""Regression lock on the metric-name schema policy rules key on.
+
+Policy rules reference metrics *by name* (``MetricSignal("tenant.web.
+get_ns", field="p99")``), so a rename in the emitting code would
+silently sever every rule reading it.  These tests pin the load-bearing
+names by driving real requests through a server and asserting the
+exact names appear in the registry -- a rename now fails tier-1 loudly
+instead of un-wiring deployed policies.
+
+Locked schema:
+
+* ``tenant.{t}.{op}_ns``   -- per-tenant request-latency histograms
+* ``tenant.{t}.{op}s``     -- per-tenant request counters
+* ``qos.{name}.shed_{cls}s`` / ``qos.{name}.shed_deadline``
+* ``qos.{name}.tenant.{t}.shed_{cls}s`` / ``...shed_deadline``
+* ``policy.{rule}.{evals,fired,suppressed_*}``
+"""
+
+import pytest
+
+from repro.errors import TransientFault
+from repro.kv.common import PlaceholderValue
+from repro.kv.lsm import LSMTree
+from repro.kv.slice import KeyRange, Slice
+from repro.obs import Observability
+from repro.qos import AdmissionConfig, QosPlan
+from repro.sim import Simulator
+
+
+def make_server(sim, obs, qos):
+    from repro.cluster.node import build_sdf_server
+
+    server = build_sdf_server(
+        sim,
+        [Slice(0, KeyRange(0, 1_000), lsm=LSMTree(memtable_bytes=64 * 1024))],
+        capacity_scale=0.01,
+        n_channels=4,
+    )
+    server.attach(obs)
+    server.attach(qos, name="n0")
+    qos.attach_obs(obs)
+    return server
+
+
+def test_tenant_request_metric_names_are_stable():
+    sim = Simulator()
+    obs = Observability()
+    qos = QosPlan(admission=AdmissionConfig(max_reads=8, max_writes=8))
+    server = make_server(sim, obs, qos)
+
+    def drive():
+        yield from server.handle_put(
+            7, PlaceholderValue(1024), tenant="web"
+        )
+        yield from server.handle_get(7, tenant="web")
+
+    sim.run(until=sim.process(drive()))
+    names = set(obs.metrics.names())
+    assert "tenant.web.put_ns" in names
+    assert "tenant.web.get_ns" in names
+    assert "tenant.web.puts" in names
+    assert "tenant.web.gets" in names
+    snap = obs.metrics.snapshot(sim.now)
+    assert snap["tenant.web.puts"] == 1
+    assert snap["tenant.web.gets"] == 1
+    assert snap["tenant.web.get_ns"]["count"] == 1
+
+
+def test_qos_shed_metric_names_are_stable():
+    sim = Simulator()
+    obs = Observability()
+    # One admission slot: a second concurrent get is shed.
+    qos = QosPlan(admission=AdmissionConfig(max_reads=1))
+    server = make_server(sim, obs, qos)
+    sheds = []
+
+    def one_get():
+        try:
+            yield from server.handle_get(7, tenant="web")
+        except TransientFault as exc:
+            sheds.append(exc)
+
+    def drive():
+        sim.process(one_get())
+        sim.process(one_get())
+        yield sim.timeout(0)
+        # Expired deadline: counted under shed_deadline.
+        with pytest.raises(TransientFault):
+            yield from server.handle_put(
+                8, PlaceholderValue(64), deadline_ns=-1, tenant="web"
+            )
+
+    sim.run(until=sim.process(drive()))
+    sim.run()
+    assert len(sheds) == 1
+    names = set(obs.metrics.names())
+    assert "qos.n0.shed_reads" in names
+    assert "qos.n0.shed_deadline" in names
+    assert "qos.n0.tenant.web.shed_reads" in names
+    assert "qos.n0.tenant.web.shed_deadline" in names
+    snap = obs.metrics.snapshot(sim.now)
+    assert snap["qos.n0.shed_reads"] == 1
+    assert snap["qos.n0.tenant.web.shed_reads"] == 1
+    assert snap["qos.n0.tenant.web.shed_deadline"] == 1
+
+
+def test_policy_outcome_metric_names_are_stable():
+    from repro.policy import (
+        CallbackAction,
+        Hysteresis,
+        MetricSignal,
+        PolicyEngine,
+        PolicyPlan,
+        Rule,
+    )
+    from repro.sim import MS
+
+    sim = Simulator()
+    obs = Observability()
+    plan = PolicyPlan(
+        rules=(
+            Rule(
+                name="tighten",
+                signal=MetricSignal("load"),
+                hysteresis=Hysteresis(upper=1.0, lower=0.5),
+                action=CallbackAction(lambda ctx, rng: None),
+            ),
+        ),
+        period_ns=MS,
+    )
+    plan.attach_obs(obs)
+    engine = PolicyEngine(plan, sim, obs=obs)
+    obs.metrics.gauge("load").set(5.0)
+    engine.start(until_ns=3 * MS)
+    sim.run()
+    names = set(obs.metrics.names())
+    assert "policy.tighten.evals" in names
+    assert "policy.tighten.fired" in names
+    assert "policy.tighten.suppressed_hysteresis" in names

@@ -1,0 +1,188 @@
+"""Hypothesis property suite for the hysteresis/cooldown automaton.
+
+The no-flap contract, verified against *arbitrary* metric streams:
+
+* no two fires of one rule ever land inside its cooldown window;
+* a signal oscillating strictly inside the hysteresis band never fires;
+* after a fire, a second fire requires the signal to first re-arm the
+  rule by crossing all the way through the band;
+* no fire happens before the condition has been raised continuously for
+  the dwell (``for_ns``);
+* ``direction="below"`` is an exact mirror of ``direction="above"``.
+
+The automaton is a pure state machine (no simulator, no registry), so
+these properties cover every stream the engine could ever feed it.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.policy import (
+    FIRED,
+    OUTCOMES,
+    PENDING,
+    SUPPRESSED_BUSY,
+    Hysteresis,
+    RuleState,
+)
+
+
+@st.composite
+def bands(draw, direction=None):
+    lower = draw(st.integers(-50, 50))
+    width = draw(st.integers(0, 40))
+    return Hysteresis(
+        upper=float(lower + width),
+        lower=float(lower),
+        for_ns=draw(st.integers(0, 30)),
+        direction=direction
+        or draw(st.sampled_from(["above", "below"])),
+    )
+
+
+#: (dt >= 1, value) observation streams; values span the band range.
+streams = st.lists(
+    st.tuples(st.integers(1, 25), st.integers(-120, 120)),
+    min_size=1,
+    max_size=60,
+)
+
+
+def walk(state, stream, blocked=lambda i: False):
+    """Drive one automaton through a stream; returns (outcomes, fire_times)."""
+    now = 0
+    outcomes = []
+    fire_times = []
+    for index, (dt, value) in enumerate(stream):
+        now += dt
+        outcome = state.observe(now, float(value), blocked=blocked(index))
+        assert outcome in OUTCOMES
+        outcomes.append(outcome)
+        if outcome == FIRED:
+            fire_times.append(now)
+    return outcomes, fire_times
+
+
+@given(band=bands(), cooldown=st.integers(0, 60), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_no_two_fires_inside_a_cooldown_window(band, cooldown, stream):
+    state = RuleState(band, cooldown_ns=cooldown)
+    _, fire_times = walk(state, stream)
+    for earlier, later in zip(fire_times, fire_times[1:]):
+        assert later - earlier >= cooldown
+    assert state.fires == len(fire_times)
+
+
+@given(band=bands(), cooldown=st.integers(0, 60), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_oscillation_inside_the_band_never_fires(band, cooldown, stream):
+    if band.upper == band.lower:
+        return  # empty open band: nothing can be strictly inside it
+    state = RuleState(band, cooldown_ns=cooldown)
+    # Project every value strictly into (lower, upper).
+    inside = [
+        (dt, band.lower + (band.upper - band.lower) * (value % 97 + 1) / 99.0)
+        for dt, value in stream
+    ]
+    now = 0
+    for dt, value in inside:
+        now += dt
+        assert band.lower < value < band.upper
+        assert state.observe(now, value) != FIRED
+    assert state.fires == 0
+
+
+@given(band=bands(), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_refire_requires_rearming_through_the_band(band, stream):
+    state = RuleState(band, cooldown_ns=0)
+    now = 0
+    rearmed_since_fire = True  # armed at birth
+    for dt, value in stream:
+        now += dt
+        outcome = state.observe(now, float(value))
+        if outcome == FIRED:
+            assert rearmed_since_fire, (
+                "fired without the signal re-arming through the band first"
+            )
+            rearmed_since_fire = False
+        if band.rearms(float(value)):
+            rearmed_since_fire = True
+
+
+@given(band=bands(), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_no_fire_before_the_dwell_elapses(band, stream):
+    state = RuleState(band, cooldown_ns=0)
+    now = 0
+    raised_since = None
+    for dt, value in stream:
+        now += dt
+        outcome = state.observe(now, float(value))
+        if band.raised(float(value)):
+            if raised_since is None:
+                raised_since = now
+            if now - raised_since < band.for_ns:
+                assert outcome != FIRED
+        else:
+            raised_since = None
+        if outcome == FIRED:
+            raised_since = None  # the automaton resets its dwell clock
+
+
+@given(band=bands(), cooldown=st.integers(0, 60), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_blocked_observation_never_fires(band, cooldown, stream):
+    state = RuleState(band, cooldown_ns=cooldown)
+    outcomes, fire_times = walk(state, stream, blocked=lambda i: True)
+    assert not fire_times
+    assert FIRED not in outcomes
+    # A blocked would-fire is reported as such, neither disarming the
+    # rule nor consuming the cooldown.
+    if SUPPRESSED_BUSY in outcomes:
+        assert state.armed
+        assert state.last_fire_ns is None
+
+
+@given(band=bands(direction="above"), cooldown=st.integers(0, 60), stream=streams)
+@settings(max_examples=200, deadline=None)
+def test_below_direction_mirrors_above(band, cooldown, stream):
+    mirrored = Hysteresis(
+        upper=-band.lower,
+        lower=-band.upper,
+        for_ns=band.for_ns,
+        direction="below",
+    )
+    above = RuleState(band, cooldown_ns=cooldown)
+    below = RuleState(mirrored, cooldown_ns=cooldown)
+    above_outcomes, _ = walk(above, stream)
+    below_outcomes, _ = walk(below, [(dt, -v) for dt, v in stream])
+    assert above_outcomes == below_outcomes
+
+
+@given(band=bands(), cooldown=st.integers(0, 60), stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_automaton_is_deterministic(band, cooldown, stream):
+    first = walk(RuleState(band, cooldown_ns=cooldown), stream)
+    second = walk(RuleState(band, cooldown_ns=cooldown), stream)
+    assert first == second
+
+
+def test_pending_only_with_dwell():
+    state = RuleState(Hysteresis(upper=10.0, lower=5.0, for_ns=10))
+    assert state.observe(0, 20.0) == PENDING
+    assert state.observe(5, 20.0) == PENDING
+    assert state.observe(10, 20.0) == FIRED
+
+
+def test_hysteresis_validation():
+    with pytest.raises(ValueError):
+        Hysteresis(upper=1.0, lower=2.0)
+    with pytest.raises(ValueError):
+        Hysteresis(upper=1.0, lower=0.0, for_ns=-1)
+    with pytest.raises(ValueError):
+        Hysteresis(upper=1.0, lower=0.0, direction="sideways")
+    with pytest.raises(ValueError):
+        RuleState(Hysteresis(upper=1.0, lower=0.0), cooldown_ns=-1)

@@ -1,0 +1,81 @@
+"""Scenario-level no-drift contract for the policy plane.
+
+Every plane in the repo honours the same rule: attaching an *empty*
+plan is byte-identical to attaching nothing.  This extends the contract
+to the scenario engine -- a fleet-day run with a no-op
+:class:`PolicyPlan` threaded all the way through ``run_scenario`` must
+produce the identical :meth:`ScenarioResult.to_json`, including with
+the QoS and fault planes active alongside.
+"""
+
+import json
+
+from repro.policy import PolicyPlan
+from repro.qos import AdmissionConfig, QosPlan
+from repro.sim.units import MS
+from repro.workloads import (
+    FaultBurst,
+    RateSchedule,
+    Scenario,
+    SizeDistribution,
+    SloSpec,
+    TenantSpec,
+    YCSB_B,
+    ZipfianKeyModel,
+    run_scenario,
+)
+
+SPAN = 4_000
+
+
+def tiny_scenario(**overrides):
+    tenant = TenantSpec(
+        name="web",
+        mix=YCSB_B,
+        keys=ZipfianKeyModel(0, SPAN),
+        sizes=SizeDistribution(fixed=8 * 1024),
+        arrivals=RateSchedule(base_rps=150.0),
+        slo=SloSpec(deadline_ns=50 * MS),
+    )
+    settings = dict(
+        name="tiny-policy",
+        tenants=(tenant,),
+        duration_ns=60 * MS,
+        n_nodes=2,
+        n_slices=4,
+        key_span=SPAN,
+        seed=5,
+        preload_keys_per_slice=16,
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+def test_empty_policy_plan_is_byte_identical_to_none():
+    scenario = tiny_scenario()
+    without = run_scenario(scenario)
+    with_empty = run_scenario(scenario, policy=PolicyPlan())
+    assert without.to_json() == with_empty.to_json()
+    assert with_empty.policy_fires == 0
+
+
+def test_empty_policy_plan_no_drift_with_all_planes_active():
+    scenario = tiny_scenario(
+        faults=(FaultBurst(node=1, at_ns=20 * MS, duration_ns=10 * MS),),
+        rebalance_every_ns=20 * MS,
+    )
+
+    def qos():
+        return QosPlan(admission=AdmissionConfig(max_reads=32, max_writes=16))
+
+    without = run_scenario(scenario, qos=qos())
+    with_empty = run_scenario(scenario, qos=qos(), policy=PolicyPlan())
+    assert without.to_json() == with_empty.to_json()
+    # The full registry snapshot agrees too, not just the summary.
+    assert without.snapshot == with_empty.snapshot
+    assert without.sim_end_ns == with_empty.sim_end_ns
+
+
+def test_policy_fires_surface_in_the_result_json():
+    payload = json.loads(run_scenario(tiny_scenario()).to_json())
+    assert payload["policy_fires"] == 0

@@ -1,0 +1,132 @@
+"""Hypothesis properties for open-loop arrivals under spiky schedules.
+
+The example-based tests (`test_arrivals_tenants.py`) check shapes the
+benchmarks rely on; these pin the *contract* for arbitrary schedules:
+
+* arrival timestamps are strictly monotone integers inside the window
+  (the scenario drivers assume this -- a duplicate timestamp would
+  collapse two requests into one simulator event ordering);
+* the instantaneous rate never exceeds :meth:`RateSchedule.peak_rate`
+  (the Lewis-Shedler thinning envelope must dominate the rate, or the
+  sampled process is not the scheduled one);
+* the same (schedule, seed, window) always replays the identical
+  sequence.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.units import MS
+from repro.workloads import (
+    DiurnalWave,
+    OpenLoopArrivals,
+    RateSchedule,
+    Spike,
+)
+
+
+@st.composite
+def schedules(draw):
+    base = draw(
+        st.one_of(
+            st.floats(0.5, 5_000.0, allow_nan=False),
+            # Extreme rates: mean gaps of a few ns stress the integer
+            # truncation that used to break strict monotonicity.
+            st.floats(1e7, 5e8, allow_nan=False),
+        )
+    )
+    wave = None
+    if draw(st.booleans()):
+        wave = DiurnalWave(
+            amplitude=draw(st.floats(0.0, 0.9)),
+            period_ns=draw(st.integers(1_000, 10**9)),
+            phase=draw(st.floats(0.0, 1.0)),
+        )
+    spikes = draw(
+        st.lists(
+            st.builds(
+                Spike,
+                at_ns=st.integers(0, 50 * MS),
+                duration_ns=st.integers(1, 20 * MS),
+                multiplier=st.floats(0.1, 8.0),
+            ),
+            max_size=3,
+        )
+    )
+    return RateSchedule(base_rps=base, wave=wave, spikes=tuple(spikes))
+
+
+windows = st.tuples(st.integers(0, MS), st.integers(1, 50_000)).map(
+    lambda pair: (pair[0], pair[0] + pair[1])
+)
+
+
+@given(
+    schedule=schedules(),
+    window=windows,
+    seed=st.integers(0, 2**31),
+    poisson=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_times_are_strictly_monotone_ints_inside_the_window(
+    schedule, window, seed, poisson
+):
+    start_ns, end_ns = window
+    arrivals = OpenLoopArrivals(schedule, poisson=poisson)
+    times = list(
+        arrivals.times(np.random.default_rng(seed), start_ns, end_ns)
+    )
+    for at in times:
+        assert isinstance(at, int)
+        assert start_ns <= at < end_ns
+    for earlier, later in zip(times, times[1:]):
+        assert later > earlier, "arrival times must be strictly ascending"
+
+
+@given(
+    schedule=schedules(),
+    t_ns=st.integers(0, 10**9),
+)
+@settings(max_examples=200, deadline=None)
+def test_rate_never_exceeds_the_schedule_peak(schedule, t_ns):
+    assert schedule.rate_at(t_ns) <= schedule.peak_rate() * (1 + 1e-12)
+
+
+@given(
+    schedule=schedules(),
+    window=windows,
+    seed=st.integers(0, 2**31),
+    poisson=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_same_inputs_replay_the_identical_sequence(
+    schedule, window, seed, poisson
+):
+    start_ns, end_ns = window
+    arrivals = OpenLoopArrivals(schedule, poisson=poisson)
+    first = list(
+        arrivals.times(np.random.default_rng(seed), start_ns, end_ns)
+    )
+    second = list(
+        arrivals.times(np.random.default_rng(seed), start_ns, end_ns)
+    )
+    assert first == second
+
+
+def test_spike_multiplies_arrivals_inside_its_window():
+    """Example anchor: a 4x flash crowd lands ~4x the arrivals."""
+    schedule = RateSchedule(
+        base_rps=20_000.0,
+        spikes=(Spike(at_ns=10 * MS, duration_ns=10 * MS, multiplier=4.0),),
+    )
+    times = list(
+        OpenLoopArrivals(schedule).times(
+            np.random.default_rng(3), 0, 30 * MS
+        )
+    )
+    quiet = sum(1 for t in times if t < 10 * MS)
+    crowd = sum(1 for t in times if 10 * MS <= t < 20 * MS)
+    assert crowd > 2.5 * quiet
