@@ -16,7 +16,10 @@ commodity SSD.  This is the testbed every production-system experiment
 * :mod:`~repro.cluster.replication` -- the system-level replication that
   replaces on-device parity (S2.2);
 * :mod:`~repro.cluster.control` -- the control plane: versioned
-  routing, elastic membership, online slice migration and split/merge.
+  routing, elastic membership, online slice migration and split/merge;
+* :mod:`~repro.cluster.membership` -- the fault-tolerant control
+  plane: SWIM failure detection, leader election and leadership
+  fencing over replicated controller state.
 """
 
 from repro.cluster.client import (
@@ -35,9 +38,21 @@ from repro.cluster.control import (
     RoutingView,
     SliceLocation,
 )
+from repro.cluster.membership import (
+    ControllerFencedError,
+    ControllerGroup,
+    ControllerLease,
+    ControllerReplica,
+    ControllerReplicationError,
+    ControllerUnavailableError,
+    MigrationRecord,
+    SwimConfig,
+    SwimDetector,
+)
 from repro.cluster.network import (
     MessageDroppedError,
     Network,
+    NetworkPartitionedError,
     Nic,
     TEN_GBE_MB_S,
 )
@@ -63,6 +78,16 @@ __all__ = [
     "Network",
     "TEN_GBE_MB_S",
     "MessageDroppedError",
+    "NetworkPartitionedError",
+    "ControllerFencedError",
+    "ControllerGroup",
+    "ControllerLease",
+    "ControllerReplica",
+    "ControllerReplicationError",
+    "ControllerUnavailableError",
+    "MigrationRecord",
+    "SwimConfig",
+    "SwimDetector",
     "SDFNodeStorage",
     "ConventionalNodeStorage",
     "StorageServer",

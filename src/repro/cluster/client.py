@@ -223,7 +223,19 @@ class KVClient:
         refreshes the cached view and retries after an exponential
         backoff -- bounded, so a persistently wrong table surfaces as
         :class:`RequestAbandonedError` rather than a livelock.
+
+        A :class:`~repro.faults.retry.RetryPolicy` with a ``budget_ns``
+        additionally caps the *total* time spent chasing redirects: no
+        refresh-retry starts after the budget is spent (backoffs are
+        clipped to the remaining budget so a sleep cannot overshoot it),
+        and the deadline propagates to the server.  Without a budget the
+        historical attempt-count bound alone applies, event sequence
+        untouched.
         """
+        policy = self.retry
+        deadline: Optional[int] = None
+        if policy is not None and policy.budget_ns is not None:
+            deadline = self.sim.now + policy.budget_ns
         last_error: Optional[BaseException] = None
         for attempt in range(ROUTE_RETRIES + 1):
             if attempt > 0:
@@ -231,10 +243,17 @@ class KVClient:
                 backoff = min(
                     ROUTE_BACKOFF_NS << (attempt - 1), ROUTE_BACKOFF_CAP_NS
                 )
+                if deadline is not None:
+                    backoff = min(backoff, max(deadline - self.sim.now, 0))
                 yield self.sim.timeout(backoff)
                 self.router.refresh()
+            if deadline is not None and self.sim.now >= deadline:
+                raise RequestAbandonedError(
+                    f"routed request spent its {policy.budget_ns} ns "
+                    f"budget after {attempt} refreshes"
+                ) from last_error
             try:
-                yield from self._attempt_once_routed()
+                yield from self._attempt_once_routed(deadline_ns=deadline)
                 return
             except (WrongEpochError, KeyError) as exc:
                 # WrongEpochError: the slice moved (or is mid-cutover).

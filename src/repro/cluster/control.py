@@ -189,6 +189,11 @@ class ClusterController:
         #: Pacing horizon for the migration copy budget: the simulated
         #: time at which the next paced byte may enter the network.
         self._budget_free_ns = 0
+        #: Optional :class:`~repro.cluster.membership.ControllerGroup`
+        #: (set by an *active* group's constructor).  ``None`` keeps the
+        #: historical immortal-singleton behaviour: no leases, no phase
+        #: barriers, no fencing -- byte-identical event sequences.
+        self.group = None
         self.obs = None
         self.migrations_started = Counter("cluster.migrations_started")
         self.migrations_completed = Counter("cluster.migrations_completed")
@@ -474,6 +479,14 @@ class ClusterController:
             ),
         )
         target_slice.epoch = source_slice.epoch
+        # Under a replicated control plane the migration runs under a
+        # leadership lease, checked at every transfer and replicated at
+        # every phase boundary; ``None`` (no group) skips all of it.
+        lease = (
+            self.group.open_lease(slice_id)
+            if self.group is not None
+            else None
+        )
         self.migrations_started.add()
         self._migrations_inflight += 1
         start_ns = self.sim.now
@@ -481,15 +494,21 @@ class ClusterController:
         try:
             # -- prepare --
             self._fault_point("prepare", slice_id)
-            self._check_nodes(src, dst)
+            yield from self._phase_barrier(
+                "prepare", lease, src_name, dst_name
+            )
+            self._check_nodes(src, dst, lease)
             source_slice.migration_hold = True
             yield from self._quiesce_compaction(source_slice)
             dst.add_slice(target_slice, importing=True)
             copied: set = set()
             # -- copy: snapshot of the registered runs --
             self._fault_point("copy", slice_id)
+            yield from self._phase_barrier(
+                "copy", lease, src_name, dst_name
+            )
             yield from self._copy_runs(
-                src, dst, source_slice, target_slice, copied
+                src, dst, source_slice, target_slice, copied, lease
             )
             # -- catch-up: runs flushed while we were copying.  Under a
             # steady write stream each pass finds the runs that landed
@@ -497,14 +516,20 @@ class ClusterController:
             # terminate; once a pass moves <= 1 run the delta is small
             # enough for the stop-and-copy cutover to absorb.
             self._fault_point("catchup", slice_id)
+            yield from self._phase_barrier(
+                "catchup", lease, src_name, dst_name
+            )
             while True:
                 moved = yield from self._copy_runs(
-                    src, dst, source_slice, target_slice, copied
+                    src, dst, source_slice, target_slice, copied, lease
                 )
                 if moved <= 1:
                     break
             # -- cutover --
             self._fault_point("cutover", slice_id)
+            yield from self._phase_barrier(
+                "cutover", lease, src_name, dst_name
+            )
             # Pre-ship the WAL tail (pending patches + force-frozen
             # memtable) while writes still flow, so the write-blocked
             # window below only has to move the last few milliseconds
@@ -512,10 +537,10 @@ class ClusterController:
             # out inside their redirect-retry budget.
             source_lsm.flush()
             yield from self._copy_tail(
-                src, dst, source_lsm, target_slice, copied
+                src, dst, source_lsm, target_slice, copied, lease
             )
             yield from self._copy_runs(
-                src, dst, source_slice, target_slice, copied
+                src, dst, source_slice, target_slice, copied, lease
             )
             source_slice.write_blocked = True
             # Final delta: whatever landed between the pre-ship and the
@@ -524,14 +549,18 @@ class ClusterController:
             # runs on the target makes them durable there before the
             # commit.
             yield from self._copy_runs(
-                src, dst, source_slice, target_slice, copied
+                src, dst, source_slice, target_slice, copied, lease
             )
             source_lsm.flush()
             yield from self._copy_tail(
-                src, dst, source_lsm, target_slice, copied
+                src, dst, source_lsm, target_slice, copied, lease
             )
             # -- commit: atomic (no yields between here and publish) --
-            self._check_nodes(src, dst)
+            self._check_nodes(src, dst, lease)
+            if self.group is not None:
+                # Exactly-one-cutover guard: only the current leader at
+                # the quorum-agreed term may flip routing.
+                self.group.fence_publish(lease)
             epoch = self._next_epoch
             self._next_epoch += 1
             source_slice.epoch = epoch  # stale stamps die on the source
@@ -553,10 +582,15 @@ class ClusterController:
                 )
             )
             committed = True
+            if self.group is not None:
+                self.group.note_commit(lease)
             self._load_marks.pop(slice_id, None)
             source_slice.write_blocked = False
             # -- cleanup: the source copy is garbage now --
             self._fault_point("cleanup", slice_id)
+            yield from self._phase_barrier(
+                "cleanup", lease, src_name, dst_name
+            )
             for run in source_lsm.runs_snapshot():
                 yield from src.storage.free_patch(run.handle)
             self.migrations_completed.add()
@@ -579,9 +613,15 @@ class ClusterController:
             # source.  Routing never changed, so clients were never
             # redirected; every acked write is still durable on the
             # source (its runs, WAL and ledgered state are untouched).
-            source_slice.write_blocked = False
+            # A fenced driver whose slice a *newer* leadership has
+            # since taken over must leave the shared migration flags
+            # alone -- the new migration owns them now.
+            if self.group is None or self.group.lease_current(lease):
+                source_slice.write_blocked = False
             if target_slice in dst.slices:
                 dst.remove_slice(target_slice)
+            if self.group is not None:
+                self.group.note_abort(lease)
             self.migrations_aborted.add()
             if self.obs is not None:
                 self.obs.metrics.counter("cluster.migration_aborts").add(1)
@@ -594,7 +634,8 @@ class ClusterController:
             raise
         finally:
             self._migrations_inflight -= 1
-            source_slice.migration_hold = False
+            if self.group is None or self.group.lease_current(lease):
+                source_slice.migration_hold = False
             if not committed:
                 # Wake the source compactor in case holds piled up.
                 poke = src._compaction_pokes.get(source_slice.slice_id)
@@ -602,7 +643,9 @@ class ClusterController:
                     poke.put(True)
         return target_slice
 
-    def _copy_runs(self, src, dst, source_slice, target_slice, copied):
+    def _copy_runs(
+        self, src, dst, source_slice, target_slice, copied, lease=None
+    ):
         """One snapshot pass: ship every not-yet-copied registered run.
 
         Dedup is by freeze token, which survives the pending-patch ->
@@ -615,7 +658,7 @@ class ClusterController:
         for run in source_slice.lsm.runs_snapshot():
             if run.freeze_token in copied:
                 continue
-            self._check_nodes(src, dst)
+            self._check_nodes(src, dst, lease)
             patch = yield from src.handle_patch_read(
                 run.handle, slice_=source_slice
             )
@@ -637,12 +680,14 @@ class ClusterController:
         while slice_.compaction_active:
             yield self.sim.timeout(MS)
 
-    def _copy_tail(self, src, dst, source_lsm, target_slice, copied):
+    def _copy_tail(
+        self, src, dst, source_lsm, target_slice, copied, lease=None
+    ):
         """Ship the frozen-but-unstored pending patches."""
         for frozen in list(source_lsm._pending):
             if frozen.token in copied:
                 continue
-            self._check_nodes(src, dst)
+            self._check_nodes(src, dst, lease)
             yield from self._paced_send(src, dst, frozen.patch.nbytes)
             handle = yield from dst.storage.store_patch(frozen.patch)
             target_slice.lsm.adopt_run(frozen.patch, handle, 0, frozen.token)
@@ -663,9 +708,25 @@ class ClusterController:
             )
         yield from self.network.send(src.nic, dst.nic, nbytes)
 
-    def _check_nodes(self, src, dst) -> None:
+    def _check_nodes(self, src, dst, lease=None) -> None:
         src._check_up()
         dst._check_up()
+        if lease is not None:
+            # Leadership fencing on the data path: the driving replica
+            # must still be up and both nodes must accept its term.
+            self.group.check_lease(lease, src, dst)
+
+    def _phase_barrier(self, phase, lease, src_name, dst_name):
+        """Generator: the replicated-control-plane hook at one phase
+        boundary -- leadership fencing, fenced command round-trips and
+        quorum record replication.  A no-op (no events, no yields)
+        without a :class:`~repro.cluster.membership.ControllerGroup`.
+        """
+        if lease is None:
+            return
+        yield from self.group.phase_barrier(
+            phase, lease, src_name, dst_name
+        )
 
     def _fault_point(self, phase: str, slice_id: int) -> None:
         """Abort-here hook consulted at each phase boundary."""

@@ -95,6 +95,12 @@ class StorageServer:
         self.slowdown = 1.0
         #: Liveness: requests raise :class:`NodeDownError` while False.
         self.up = True
+        #: Highest controller leadership term this node has accepted a
+        #: command from.  A replicated controller group's new leader
+        #: installs its term here on election; commands stamped with an
+        #: older term (a deposed leader) are rejected.  0 = never fenced
+        #: (the immortal single-controller world).
+        self.controller_term = 0
         #: Bumped on every crash; in-flight background work from an
         #: earlier epoch discards its results instead of registering them.
         self._epoch = 0
@@ -346,6 +352,25 @@ class StorageServer:
         if self.slowdown == 1.0:
             return ns
         return int(ns * self.slowdown)
+
+    # -- controller fencing ------------------------------------------------------------
+    def fence_controller(self, term: int) -> None:
+        """Accept a controller command stamped with leadership ``term``.
+
+        The same epoch-fencing contract as :meth:`route`, applied to
+        controller -> node traffic: a stamp older than the highest term
+        this node has seen is a deposed leader still issuing commands,
+        and is rejected with :class:`~repro.errors.WrongEpochError` (a
+        :class:`~repro.errors.TransientFault`, so the deposed leader's
+        migration aborts through the normal rollback path).  A newer
+        stamp is adopted, fencing the previous leader from here on.
+        """
+        if term < self.controller_term:
+            raise WrongEpochError(
+                f"controller term {term} is stale; node has accepted "
+                f"term {self.controller_term}"
+            )
+        self.controller_term = term
 
     # -- routing -------------------------------------------------------------------
     def route(self, key, epoch: Optional[int] = None) -> Slice:

@@ -23,6 +23,7 @@ from repro.faults.injector import (
     DROP,
     ERASE_FAIL,
     NULL_INJECTOR,
+    PARTITION,
     PROGRAM_FAIL,
     READ_UNCORRECTABLE,
     STALL,
@@ -53,6 +54,7 @@ __all__ = [
     "DROP",
     "ERASE_FAIL",
     "NULL_INJECTOR",
+    "PARTITION",
     "PROGRAM_FAIL",
     "READ_UNCORRECTABLE",
     "STALL",

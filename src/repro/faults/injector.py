@@ -16,7 +16,8 @@ site                      faults consulted there
                           ``read_uncorrectable``), ctx: chip/plane/block/page
 ``ch<N>``                 channel engine N (``stall`` latency spikes)
 ``link``                  host link (``drop``, ``delay``)
-``net``                   datacenter network (``drop``, ``delay``)
+``net``                   datacenter network (``drop``, ``delay``,
+                          scheduled ``partition`` link cuts)
 ``node<N>``               storage server N (scheduled ``crash``/``brownout``)
 ``replication``           ``ReplicatedKV`` read-path BCH-failure stand-in
 ========================  =====================================================
@@ -44,6 +45,7 @@ DROP = "drop"  #: message/transfer lost
 DELAY = "delay"  #: message/transfer delayed
 CRASH = "crash"  #: node crash (scheduled; paired with restart)
 BROWNOUT = "brownout"  #: node slowdown (scheduled; latency multiplier)
+PARTITION = "partition"  #: network link cut (scheduled; paired with heal)
 
 
 @dataclass(frozen=True)

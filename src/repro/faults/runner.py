@@ -15,6 +15,13 @@ Scheduled kinds:
   handler CPU charge is multiplied for the fault's duration.  Pass the
   multiplier as a schedule arg: ``plan.schedule(site, BROWNOUT, at_ns,
   duration_ns, multiplier=20.0)``.
+* ``partition`` -- the target must expose ``begin_partition(a, b,
+  symmetric)`` and ``end_partition(a, b, symmetric)`` (both synchronous;
+  :class:`repro.cluster.network.Network` does).  ``a`` and ``b`` name
+  the two sides of the cut: single NIC names or comma-joined groups
+  (``a="ctl0", b="ctl1,ctl2,n0"``); ``symmetric=False`` cuts only the
+  ``a`` -> ``b`` direction.  Schedule as ``plan.schedule("net",
+  PARTITION, at_ns, duration_ns, a="ctl0", b="ctl1,ctl2")``.
 
 An optional ``on_restore`` callback -- a generator -- runs after
 recovery of either kind, which is where replica resynchronisation
@@ -26,7 +33,20 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.faults.errors import FaultInjectionError
-from repro.faults.injector import BROWNOUT, CRASH, ScheduledFault
+from repro.faults.injector import BROWNOUT, CRASH, PARTITION, ScheduledFault
+
+
+def _partition_sides(args: dict):
+    """Decode the ``a``/``b`` endpoint groups of one partition fault."""
+    try:
+        a, b = args["a"], args["b"]
+    except KeyError as exc:
+        raise FaultInjectionError(
+            "partition fault needs a= and b= endpoint names"
+        ) from exc
+    side_a = tuple(a.split(",")) if isinstance(a, str) else a
+    side_b = tuple(b.split(",")) if isinstance(b, str) else b
+    return side_a, side_b, bool(args.get("symmetric", True))
 
 
 class FaultRunner:
@@ -92,6 +112,19 @@ class FaultRunner:
                 yield self.sim.timeout(fault.duration_ns)
             target.end_brownout()
             injector.note("brownout_end", **args)
+            if on_restore is not None:
+                yield from on_restore()
+        elif fault.kind == PARTITION:
+            args = dict(fault.args)
+            side_a, side_b, symmetric = _partition_sides(args)
+            target.begin_partition(side_a, side_b, symmetric=symmetric)
+            injector.inject(PARTITION, **args)
+            if fault.duration_ns is None:
+                return  # never heals
+            if fault.duration_ns > 0:
+                yield self.sim.timeout(fault.duration_ns)
+            target.end_partition(side_a, side_b, symmetric=symmetric)
+            injector.note("partition_heal", **args)
             if on_restore is not None:
                 yield from on_restore()
         else:

@@ -36,6 +36,7 @@ from repro.policy.rules import (
     RuleState,
 )
 from repro.policy.signals import (
+    DeadNodeSignal,
     DeltaRateSignal,
     MetricSignal,
     NodeSkewSignal,
@@ -44,6 +45,7 @@ from repro.policy.signals import (
 
 __all__ = [
     "CallbackAction",
+    "DeadNodeSignal",
     "DeltaRateSignal",
     "FIRED",
     "Hysteresis",

@@ -118,6 +118,30 @@ class DeltaRateSignal:
 
 
 @dataclass(frozen=True)
+class DeadNodeSignal:
+    """Confirmed-dead member count from the replicated control plane.
+
+    Reads the ``cluster.membership.dead`` gauge the
+    :class:`~repro.cluster.membership.ControllerGroup` publishes (the
+    leader's SWIM view, counting controller replicas and watched
+    storage nodes alike), so a rule can react to a node death the
+    failure detector has *confirmed* -- e.g. ``TriggerRebalance`` to
+    re-spread load across the survivors.  Reads ``default`` (0.0, no
+    deaths) when no group is attached, so the rule idles harmlessly in
+    a single-controller deployment.
+    """
+
+    name: str = "cluster.membership.dead"
+    default: float = 0.0
+
+    def read(self, ctx) -> float:
+        value = ctx.metric(self.name)
+        if value is None:
+            return self.default
+        return float(value)
+
+
+@dataclass(frozen=True)
 class NodeSkewSignal:
     """Hot-node / cold-node served-bytes ratio over the last tick.
 

@@ -1,0 +1,107 @@
+"""Regression: a routed client chasing a persistently wrong routing
+table must terminate within ``RetryPolicy.budget_ns`` instead of
+spinning through refresh-retry cycles.
+
+The failure shape comes from controller failover: while leadership is
+being re-established a client can see ``WrongEpochError`` on every
+attempt (the slice is mid-cutover, or the table it refreshes from is
+itself behind).  The total-deadline budget bounds the chase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BatchSpec,
+    ClusterController,
+    KVClient,
+    Network,
+    RequestAbandonedError,
+    build_sdf_server,
+)
+from repro.cluster.client import ROUTE_RETRIES
+from repro.errors import WrongEpochError
+from repro.faults import RetryPolicy
+from repro.kv.slice import KeyRange
+from repro.sim import MS, Simulator
+
+
+def make_scenario(retry=None):
+    sim = Simulator()
+    network = Network(sim)
+    ctrl = ClusterController(sim, network)
+    ctrl.add_node(
+        "n0", build_sdf_server(sim, [], capacity_scale=0.01, n_channels=4)
+    )
+    sid = ctrl.create_slice(KeyRange(0, 1_000_000), on=["n0"])
+    # Poison the route: the replica has moved past the table's epoch
+    # and nothing will ever publish the new one, so every routed
+    # attempt draws WrongEpochError and every refresh resolves to the
+    # same stale entry.
+    ctrl.replica(sid, "n0").epoch = 99
+    client = KVClient(
+        sim,
+        network,
+        ctrl.node("n0"),
+        ctrl.replica(sid, "n0"),
+        BatchSpec(batch_size=1, value_bytes=4096, mode="write"),
+        rng=np.random.default_rng(5),
+        router=ctrl.view(),
+        retry=retry,
+    )
+    return sim, client
+
+
+def run_request(sim, client):
+    outcome = {}
+
+    def proc():
+        try:
+            yield from client.request_once()
+        except RequestAbandonedError as exc:
+            outcome["abandoned"] = exc
+            return
+        outcome["ok"] = True
+
+    sim.run(until=sim.process(proc()))
+    return outcome
+
+
+def test_budget_bounds_wrong_epoch_chase():
+    sim, client = make_scenario(
+        retry=RetryPolicy(budget_ns=2 * MS)
+    )
+    outcome = run_request(sim, client)
+    assert "abandoned" in outcome
+    assert "budget" in str(outcome["abandoned"])
+    assert isinstance(outcome["abandoned"].__cause__, WrongEpochError)
+    # Terminated at the budget -- backoffs are clipped to the remaining
+    # budget, so the chase cannot overshoot by more than one attempt's
+    # service time.
+    assert 2 * MS <= sim.now < 3 * MS
+    # It spent the budget retrying, not spinning: fewer refreshes than
+    # the attempt-count bound, each separated by a real backoff.
+    assert 1 <= client.requests_retried < ROUTE_RETRIES
+
+
+def test_without_budget_the_attempt_bound_alone_applies():
+    sim, client = make_scenario(retry=None)
+    outcome = run_request(sim, client)
+    assert "abandoned" in outcome
+    assert "misrouted" in str(outcome["abandoned"])
+    assert client.requests_retried == ROUTE_RETRIES
+    assert client.requests_redirected == ROUTE_RETRIES + 1
+
+
+def test_budget_longer_than_chase_changes_nothing():
+    # A generous budget must not alter the historical outcome: the
+    # attempt-count bound fires first, same refresh count.
+    sim_a, client_a = make_scenario(retry=None)
+    run_request(sim_a, client_a)
+    sim_b, client_b = make_scenario(
+        retry=RetryPolicy(budget_ns=10_000 * MS)
+    )
+    outcome = run_request(sim_b, client_b)
+    assert "misrouted" in str(outcome["abandoned"])
+    assert client_b.requests_retried == client_a.requests_retried
+    assert sim_b.now == sim_a.now

@@ -14,6 +14,8 @@ Locked schema:
 * ``qos.{name}.shed_{cls}s`` / ``qos.{name}.shed_deadline``
 * ``qos.{name}.tenant.{t}.shed_{cls}s`` / ``...shed_deadline``
 * ``policy.{rule}.{evals,fired,suppressed_*}``
+* ``cluster.membership.*`` / ``cluster.election.*`` -- the replicated
+  control plane's failure-detector and leadership metrics
 """
 
 import pytest
@@ -137,3 +139,64 @@ def test_policy_outcome_metric_names_are_stable():
     assert "policy.tighten.evals" in names
     assert "policy.tighten.fired" in names
     assert "policy.tighten.suppressed_hysteresis" in names
+
+
+def test_membership_and_election_metric_names_are_stable():
+    """``DeadNodeSignal`` (and any operator dashboard) keys on these
+    names; a rename would silently un-wire dead-node rules."""
+    from repro.cluster import (
+        ClusterController,
+        ControllerGroup,
+        Network,
+        SwimConfig,
+        build_sdf_server,
+    )
+    from repro.sim import MS
+
+    sim = Simulator()
+    obs = Observability()
+    network = Network(sim)
+    ctrl = ClusterController(sim, network)
+    ctrl.add_node("n0", build_sdf_server(sim, [], capacity_scale=0.01))
+    group = ControllerGroup(
+        sim, network, ctrl, n_replicas=3,
+        swim=SwimConfig(
+            period_ns=10 * MS,
+            ping_timeout_ns=2 * MS,
+            suspect_timeout_ns=40 * MS,
+        ),
+    )
+    group.attach(obs)
+    group.watch_nodes()
+
+    def killer():
+        yield sim.timeout(50 * MS)
+        group.replica("ctl0").crash()
+
+    sim.process(killer())
+    group.start(until_ns=400 * MS)
+    sim.run()
+    names = set(obs.metrics.names())
+    for name in (
+        "cluster.membership.pings",
+        "cluster.membership.ping_reqs",
+        "cluster.membership.suspicions",
+        "cluster.membership.refutes",
+        "cluster.membership.confirms",
+        "cluster.membership.rejoins",
+        "cluster.membership.alive",
+        "cluster.membership.suspects",
+        "cluster.membership.dead",
+        "cluster.election.elections",
+        "cluster.election.rounds",
+        "cluster.election.term",
+        "cluster.election.fences",
+        "cluster.election.migrations_resolved",
+        "cluster.replication.records",
+        "cluster.replication.failures",
+    ):
+        assert name in names, name
+    snap = obs.metrics.snapshot(sim.now)
+    assert snap["cluster.membership.dead"] == 1  # the crashed leader
+    assert snap["cluster.election.term"] == 2
+    assert snap["cluster.election.elections"] == 1
