@@ -42,13 +42,23 @@ def profile_scenario(name: str, mode: str, sort: str, limit: int,
     if name not in scenarios:
         known = ", ".join(sorted(scenarios))
         raise SystemExit(f"unknown benchmark {name!r}; choose from: {known}")
+    scenario, modes = scenarios[name]
+    if mode not in modes:
+        raise SystemExit(
+            f"{name!r} runs in modes {'/'.join(modes)}, not {mode!r}"
+        )
     profiler = cProfile.Profile()
     profiler.enable()
-    result = scenarios[name](mode)
+    result = scenario(mode)
     profiler.disable()
+    throughput = (
+        f" sim={result['mb_per_s'] / 1000:.2f} GB/s"
+        if "mb_per_s" in result
+        else ""
+    )
     print(
         f"{name} [{mode}]: wall={result['wall_s']:.2f}s "
-        f"events={result['events']} sim={result['mb_per_s'] / 1000:.2f} GB/s"
+        f"events={result['events']}{throughput}"
     )
     stats = pstats.Stats(profiler)
     if out:
@@ -64,8 +74,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("benchmark", help="scenario name from the perf harness")
     parser.add_argument(
-        "--mode", choices=("generator", "timeline"), default="timeline",
-        help="scheduling mode to profile (default: timeline)",
+        "--mode", default="timeline",
+        help="scenario mode to profile (default: timeline; the sharded "
+        "scenario takes inprocess/sharded) -- validated against the "
+        "scenario's registered mode pair",
     )
     parser.add_argument(
         "--sort", default="tottime",

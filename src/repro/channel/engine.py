@@ -23,6 +23,8 @@ import os
 from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.channel import vector
+from repro.errors import ConfigError
 from repro.faults.injector import NULL_INJECTOR, STALL
 from repro.ftl.ops import FlashOp, OpKind
 from repro.nand.geometry import FlashGeometry
@@ -30,7 +32,7 @@ from repro.nand.timing import NandTiming
 from repro.sim import AllOf, Event, PriorityResource, Simulator
 from repro.sim.engine import _PhaseEnd
 from repro.sim.stats import Counter
-from repro.sim.timeline import BusyUnion, ResourceTimeline
+from repro.sim.timeline import BusyUnion, PriorityTimeline, ResourceTimeline
 
 #: Default service priorities (lower = sooner).  The base policy is
 #: FIFO-equal; the paper's future-work scheduler prioritizes on-demand
@@ -43,6 +45,11 @@ OP_PRIORITIES: Dict[OpKind, int] = {
 }
 
 _MODES = ("auto", "generator", "timeline")
+
+#: Cached fast-path eligibility decisions (see ``ChannelEngine.fast_ok``).
+_PLAN_SLOW = 0  #: generator path (forced mode)
+_PLAN_PLAIN = 1  #: bare analytic path: FIFO timelines, no spans, no QoS
+_PLAN_EXT = 2  #: extended analytic path: QoS slots / trace spans / priorities
 
 
 class _BusyCounterView:
@@ -78,7 +85,7 @@ def default_engine_mode() -> str:
     """
     mode = os.environ.get("REPRO_SIM_MODE", "auto")
     if mode not in _MODES:
-        raise ValueError(
+        raise ConfigError(
             f"REPRO_SIM_MODE must be one of {_MODES}, got {mode!r}"
         )
     return mode
@@ -107,9 +114,13 @@ class ChannelEngine:
         self.geometry = geometry
         self.timing = timing
         self.priorities = dict(OP_PRIORITIES if priorities is None else priorities)
+        #: Cached eligibility plan; None means "recompute on next
+        #: submission".  Invalidated by the mode/obs/qos setters.
+        self._fast_plan = None
+        self._obs = None
+        self._qos = None
+        self._mode = "auto"
         self.mode = default_engine_mode() if mode is None else mode
-        if self.mode not in _MODES:
-            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
         self.bus = PriorityResource(sim, capacity=1, name=f"ch{channel}/bus")
         self._planes: Dict[Tuple[int, int], PriorityResource] = {
             (chip, plane): PriorityResource(
@@ -123,10 +134,24 @@ class ChannelEngine:
         self._tl_planes: Dict[Tuple[int, int], ResourceTimeline] = {
             key: ResourceTimeline() for key in self._planes
         }
+        #: Priority-aware mirrors, used by the extended fast path when
+        #: priorities are non-uniform (the FIFO timelines above would
+        #: compute wrong grant order).
+        self._ptl_bus = PriorityTimeline()
+        self._ptl_planes: Dict[Tuple[int, int], PriorityTimeline] = {
+            key: PriorityTimeline() for key in self._planes
+        }
+        #: Precomputed trace track names (match the resource names the
+        #: generator path emits hold spans under).
+        self._track_bus = f"ch{channel}/bus"
+        self._track_planes: Dict[Tuple[int, int], str] = {
+            key: res.name for key, res in self._planes.items()
+        }
+        self._ops_track = f"ch{channel}/ops"
         self._busy_union = BusyUnion()
-        #: Uniform priorities are a fast-path precondition: with equal
-        #: priorities a PriorityResource degenerates to FIFO, which is
-        #: what the analytic timelines compute.
+        #: With equal priorities a PriorityResource degenerates to FIFO,
+        #: so the plain FIFO timelines apply; non-uniform priorities
+        #: route to the PriorityTimeline mirrors instead.
         self._uniform_priorities = len(set(self.priorities.values())) == 1
         self.ops_executed = Counter(f"channel{channel}.ops")
         #: Generator-path accrual of channel busy time; the public view
@@ -136,19 +161,18 @@ class ChannelEngine:
         #: Total queue wait summed over ops; can exceed wall-clock time
         #: when many ops wait concurrently.
         self.wait_ns = Counter(f"channel{channel}.wait")
-        #: Optional :class:`repro.obs.Observability`; set by
-        #: ``repro.obs.attach_device``.  None keeps all hooks no-ops.
-        self.obs = None
+        # self._obs (property ``obs``): optional
+        # :class:`repro.obs.Observability`, set by
+        # ``repro.obs.attach_device``; None keeps all hooks no-ops.
+        # self._qos (property ``qos``): optional
+        # :class:`repro.qos.limits.ChannelQosState`, set by
+        # ``repro.qos.attach_device_qos``; None keeps admission free.
+        # Both initialized above, before the mode property ran.
         #: Fault-injection handle (channel ``stall`` latency spikes);
         #: :data:`~repro.faults.injector.NULL_INJECTOR` unless wired.
         self.faults = NULL_INJECTOR
-        #: Optional :class:`repro.qos.limits.ChannelQosState` bounding
-        #: the ops admitted to this channel; set by
-        #: ``repro.qos.attach_device_qos``.  None keeps admission free.
-        self.qos = None
         self._in_service = 0
         self._busy_since = 0
-        self._queued = 0
         self._depth_metric = None
         #: Memoized bus_transfer_ns per payload size (hot path).
         self._bus_ns_cache: Dict[int, int] = {}
@@ -157,23 +181,86 @@ class ChannelEngine:
         """The contention resource for one (chip, plane)."""
         return self._planes[(chip, plane)]
 
+    # -- attachment points (each invalidates the cached fast plan) ----------------
+    @property
+    def mode(self) -> str:
+        """Scheduling mode: ``auto`` / ``generator`` / ``timeline``."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: str) -> None:
+        if value not in _MODES:
+            raise ConfigError(
+                f"mode must be one of {_MODES}, got {value!r}"
+            )
+        self._mode = value
+        self._fast_plan = None
+
+    @property
+    def obs(self):
+        """Optional :class:`repro.obs.Observability`; set by
+        ``repro.obs.attach_device``.  None keeps all hooks no-ops."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        self._depth_metric = None
+        self._fast_plan = None
+
+    @property
+    def qos(self):
+        """Optional :class:`repro.qos.limits.ChannelQosState` bounding
+        the ops admitted to this channel; set by
+        ``repro.qos.attach_device_qos``.  None keeps admission free."""
+        return self._qos
+
+    @qos.setter
+    def qos(self, value) -> None:
+        self._qos = value
+        self._fast_plan = None
+
+    def refresh_fast_plan(self) -> None:
+        """Drop the cached fast-path eligibility decision.
+
+        Eligibility is invalidated automatically when ``mode``, ``obs``
+        or ``qos`` are assigned (every attach helper's path); call this
+        after out-of-band changes -- toggling ``obs.trace.enabled`` or
+        assigning ``sim.obs`` directly -- so the next submission
+        re-reads them.
+        """
+        self._fast_plan = None
+
     # -- fast-path eligibility ---------------------------------------------------
+    def _compute_plan(self) -> int:
+        if self._mode == "generator":
+            return _PLAN_SLOW
+        sim_obs = self.sim.obs
+        eng_obs = self._obs
+        traced = (sim_obs is not None and sim_obs.trace.enabled) or (
+            eng_obs is not None and eng_obs.trace.enabled
+        )
+        if self._uniform_priorities and self._qos is None and not traced:
+            return _PLAN_PLAIN
+        return _PLAN_EXT
+
     def fast_ok(self) -> bool:
         """True when ops may take the timeline fast path right now.
 
-        The fast path falls back to the generator path whenever
-        equivalence cannot be guaranteed: forced generator mode,
-        non-uniform op priorities (queue order would not be FIFO), an
-        attached QoS admission bound (its slot resource interleaves with
-        the phases), or enabled tracing (spans are emitted from inside
-        resource holds the fast path never creates).
+        Every configuration is analytically schedulable except forced
+        generator mode: QoS admission slots are modeled as fast-path
+        slot counts with generator-identical grant hops, non-uniform
+        priorities use the priority-aware
+        :class:`~repro.sim.timeline.PriorityTimeline`, and trace spans
+        are emitted directly from reservation intervals.  The decision
+        is cached (attachment invalidates it; see
+        :meth:`refresh_fast_plan`) so the hot path pays one attribute
+        read instead of re-reading ``sim.obs`` per submission.
         """
-        if self.mode == "generator" or not self._uniform_priorities:
-            return False
-        if self.qos is not None:
-            return False
-        obs = self.sim.obs
-        return obs is None or not obs.trace.enabled
+        plan = self._fast_plan
+        if plan is None:
+            plan = self._fast_plan = self._compute_plan()
+        return plan != _PLAN_SLOW
 
     # -- accounting --------------------------------------------------------------
     def utilization(self, now_ns: Optional[int] = None) -> float:
@@ -235,14 +322,12 @@ class ChannelEngine:
             depth = obs.metrics.time_weighted(
                 f"channel{self.channel}.queue_depth"
             )
-            self._queued += 1
-            depth.update(queued, self._queued)
+            depth.shift(queued, 1)
         with resource.request(priority) as hold:
             yield hold
             granted = self.sim.now
             if depth is not None:
-                self._queued -= 1
-                depth.update(granted, self._queued)
+                depth.shift(granted, -1)
             self._service_begin(granted)
             try:
                 yield self.sim.hold(duration_ns)
@@ -293,52 +378,89 @@ class ChannelEngine:
         timeline._tail_hooks = hooks
         # BusyUnion.add inlined; phase durations are always positive.
         self._busy_union._raw.append([grant, end])
-        if self.obs is not None:
+        if self._obs is not None:
             self._depth_track(now, grant)
         return grant, end
 
     def _depth_track(self, request_ns: int, grant_ns: int) -> None:
+        """Queue-depth accounting for one fast-path phase, event-free.
+
+        The grant instant is already known at reservation time, so the
+        depth decrement is *deferred* into the metric (folded in, in
+        timestamp order, by its next update or read) rather than
+        scheduled -- the integrated area is byte-identical to the
+        generator path's grant-instant update, at zero event cost.
+        """
         depth = self._depth_metric
         if depth is None:
-            depth = self._depth_metric = self.obs.metrics.time_weighted(
+            depth = self._depth_metric = self._obs.metrics.time_weighted(
                 f"channel{self.channel}.queue_depth"
             )
-        self._queued += 1
-        depth.update(request_ns, self._queued)
+        depth.shift(request_ns, 1)
         if grant_ns <= request_ns:
-            self._queued -= 1
-            depth.update(request_ns, self._queued)
+            depth.shift(request_ns, -1)
         else:
-
-            def granted():
-                self._queued -= 1
-                depth.update(grant_ns, self._queued)
-
-            self.sim._schedule_call(granted, grant_ns - request_ns)
+            depth.shift_at(grant_ns, -1)
 
     def execute_fast(self, op: FlashOp, then=None) -> None:
         """Timeline-schedule one op; only call when :meth:`fast_ok`.
 
         ``then()`` (if given) runs at the op's completion instant --
-        after the engine's counters update -- with generator-equivalent
+        after the engine's counters update (and, with QoS attached,
+        after the admission slot's release) -- with generator-equivalent
         tie ordering, so callers can chain further reservations (link
         DMA, batch completions) exactly where the slow path would.
         """
-        faults = self.faults
-        if faults is NULL_INJECTOR:
-            self._fast_phases(op, then)
-            return
-        stall_ns = faults.delay_ns(
-            STALL, op=op.kind.name.lower(), chip=op.address.chip
-        )
-        if stall_ns > 0:
-            # The generator path sleeps the stall before contending;
-            # defer the reservations to the same instant.
-            self.sim._schedule_call(
-                lambda: self._fast_phases(op, then), stall_ns
+        plan = self._fast_plan
+        if plan is None:
+            self.fast_ok()
+            plan = self._fast_plan
+        if plan == _PLAN_PLAIN:
+            faults = self.faults
+            if faults is NULL_INJECTOR:
+                self._fast_phases(op, then)
+                return
+            stall_ns = faults.delay_ns(
+                STALL, op=op.kind.name.lower(), chip=op.address.chip
             )
+            if stall_ns > 0:
+                # The generator path sleeps the stall before contending;
+                # defer the reservations to the same instant.
+                self.sim._schedule_call(
+                    lambda: self._fast_phases(op, then), stall_ns
+                )
+            else:
+                self._fast_phases(op, then)
+            return
+        qos = self._qos
+        if qos is None:
+            self._ext_submit(op, then)
         else:
-            self._fast_phases(op, then)
+            qos.admit_fast(lambda: self._ext_submit(op, then))
+
+    def _ext_submit(self, op: FlashOp, then) -> None:
+        """Extended-path submission at ``_execute``'s start instant.
+
+        Runs post-admission (the QoS grant hop already happened) and
+        pre-stall: the ops span's start and the stall RNG draw both
+        anchor here, exactly where the generator's ``_execute`` body
+        begins.  The draw instant matters -- ``FaultEvent.signature()``
+        includes ``at_ns`` -- so a queued admission must shift the draw
+        to the grant instant, never make it early at submission.
+        """
+        sim = self.sim
+        start = sim._now
+        faults = self.faults
+        if faults is not NULL_INJECTOR:
+            stall_ns = faults.delay_ns(
+                STALL, op=op.kind.name.lower(), chip=op.address.chip
+            )
+            if stall_ns > 0:
+                sim._schedule_call(
+                    lambda: self._fast_phases_ext(op, start, then), stall_ns
+                )
+                return
+        self._fast_phases_ext(op, start, then)
 
     def _fast_phases(self, op: FlashOp, then) -> None:
         sim = self.sim
@@ -400,6 +522,145 @@ class ChannelEngine:
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown op kind {kind}")
 
+    # -- extended fast path (QoS / tracing / priorities) ---------------------------
+    def _ext_phase(self, key, duration_ns: int, priority: int, done) -> None:
+        """One analytic phase on plane ``key`` (None = the bus);
+        ``done(wait_ns)`` runs at the end instant.
+
+        The traced twin of ``_phase_fast``: the hold span is emitted at
+        the end instant -- where the generator's resource release emits
+        it -- with the grant captured by closure, and ``wait_ns`` is
+        attached iff ``sim.obs`` was attached at request time (the
+        condition under which the generator records ``queued_at``).
+        Non-uniform priorities swap the FIFO timeline for the
+        priority-aware one; grant instants are then only known at the
+        grant callback.
+        """
+        sim = self.sim
+        request = sim._now
+        record_wait = sim.obs is not None
+        if self._uniform_priorities:
+            if key is None:
+                track, timeline = self._track_bus, self._tl_bus
+            else:
+                track, timeline = self._track_planes[key], self._tl_planes[key]
+
+            def ended():
+                obs = sim.obs
+                if obs is not None and obs.trace.enabled:
+                    if record_wait:
+                        obs.trace.span(
+                            track, "hold", grant, sim._now,
+                            wait_ns=grant - request,
+                        )
+                    else:
+                        obs.trace.span(track, "hold", grant, sim._now)
+                done(grant - request)
+
+            grant, end = timeline.reserve_and_call(sim, duration_ns, ended)
+            self._busy_union._raw.append([grant, end])
+            if self._obs is not None:
+                self._depth_track(request, grant)
+            return
+        track = self._track_bus if key is None else self._track_planes[key]
+
+        timeline = self._ptl_bus if key is None else self._ptl_planes[key]
+        obs = self._obs
+        depth = None
+        if obs is not None:
+            depth = self._depth_metric
+            if depth is None:
+                depth = self._depth_metric = obs.metrics.time_weighted(
+                    f"channel{self.channel}.queue_depth"
+                )
+            depth.shift(request, 1)
+        grant_cell = [0]
+
+        def granted(grant, end):
+            grant_cell[0] = grant
+            if depth is not None:
+                depth.shift(grant, -1)
+            self._busy_union._raw.append([grant, end])
+
+        def prio_ended():
+            grant = grant_cell[0]
+            o = sim.obs
+            if o is not None and o.trace.enabled:
+                if record_wait:
+                    o.trace.span(
+                        track, "hold", grant, sim._now,
+                        wait_ns=grant - request,
+                    )
+                else:
+                    o.trace.span(track, "hold", grant, sim._now)
+            done(grant - request)
+
+        timeline.reserve_call(sim, priority, duration_ns, granted, prio_ended)
+
+    def _fast_phases_ext(self, op: FlashOp, start: int, then) -> None:
+        """Extended-path phase chain + completion for one op.
+
+        Completion order mirrors the generator exactly: engine counters,
+        then the ops span, then the QoS slot release (which grants the
+        next admission waiter), then the caller's continuation -- the
+        generator's inner-finish / with-exit / caller-resume sequence.
+        """
+        sim = self.sim
+        timing = self.timing
+        key = (op.address.chip, op.address.plane)
+        kind = op.kind
+        priority = self.priorities[kind]
+
+        cache = self._bus_ns_cache
+        bus_ns = cache.get(op.nbytes)
+        if bus_ns is None:
+            bus_ns = cache[op.nbytes] = timing.bus_transfer_ns(op.nbytes)
+
+        def completion(wait):
+            self.ops_executed.add()
+            self.wait_ns.add(wait)
+            obs = self._obs
+            if obs is not None and obs.trace.enabled:
+                obs.trace.span(
+                    self._ops_track,
+                    kind.name.lower(),
+                    start,
+                    sim._now,
+                    chip=op.address.chip,
+                    plane=op.address.plane,
+                    block=op.address.block,
+                    nbytes=op.nbytes,
+                    wait_ns=wait,
+                )
+            qos = self._qos
+            if qos is not None:
+                qos.release_fast()
+            if then is not None:
+                then()
+
+        if kind is OpKind.READ:
+
+            def after_sense(wait1):
+                self._ext_phase(
+                    None, bus_ns, priority,
+                    lambda wait2: completion(wait1 + wait2),
+                )
+
+            self._ext_phase(key, timing.t_read_ns, priority, after_sense)
+        elif kind is OpKind.PROGRAM:
+
+            def after_stream(wait1):
+                self._ext_phase(
+                    key, timing.t_prog_ns, priority,
+                    lambda wait2: completion(wait1 + wait2),
+                )
+
+            self._ext_phase(None, bus_ns, priority, after_stream)
+        elif kind is OpKind.ERASE:
+            self._ext_phase(key, timing.t_erase_ns, priority, completion)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown op kind {kind}")
+
     # -- single-op execution -------------------------------------------------------
     def execute(self, op: FlashOp):
         """Generator: run one op to completion (``yield from`` this).
@@ -417,10 +678,10 @@ class ChannelEngine:
             done = Event(self.sim)
             self.execute_fast(op, done.succeed)
             yield done
-        elif self.qos is None:
+        elif self._qos is None:
             yield from self._execute(op)
         else:
-            yield from self.qos.admitted(self._execute(op))
+            yield from self._qos.admitted(self._execute(op))
 
     def _execute(self, op: FlashOp):
         start = self.sim.now
@@ -497,6 +758,24 @@ class ChannelEngine:
             return
         if not self.fast_ok():
             yield from self.execute_all(ops)
+            return
+        if len(ops) >= 8:
+            # Batch-warm the memoized bus-cost table with one numpy
+            # pass (observationally neutral cache fill).
+            vector.prefill_bus_costs(self.timing, self._bus_ns_cache, ops)
+        if (
+            self._fast_plan == _PLAN_PLAIN
+            and self._obs is None
+            and self.faults is NULL_INJECTOR
+            and vector.erase_batch_ready(ops)
+        ):
+            # All-ERASE batch with nothing observing mid-batch: compute
+            # every grant/end in closed form (numpy cumsum per plane)
+            # and schedule one shared countdown instead of per-op
+            # closures.  Event-for-event identical to the loop below.
+            done = Event(self.sim)
+            vector.schedule_erase_batch(self, ops, done.succeed)
+            yield done
             return
         done = Event(self.sim)
         remaining = [len(ops)]

@@ -37,6 +37,17 @@ class ClusterError(ReproError):
     """A cluster-coordination failure (routing, membership, migration)."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Invalid static configuration (modes, env vars, plan parameters).
+
+    Subclasses :class:`ValueError` so call sites that historically
+    raised ``ValueError`` for bad configuration keep their contract
+    while joining the :class:`ReproError` hierarchy.  Raised *eagerly*
+    at parse/validation time -- an unknown ``REPRO_SIM_MODE`` must fail
+    loudly, never silently behave like ``auto``.
+    """
+
+
 class WrongEpochError(TransientFault, ClusterError):
     """A request carried a stale routing epoch for its slice.
 
@@ -53,5 +64,6 @@ __all__ = [
     "TransientFault",
     "PermanentFault",
     "ClusterError",
+    "ConfigError",
     "WrongEpochError",
 ]

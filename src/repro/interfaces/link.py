@@ -123,9 +123,43 @@ class HostLink:
         The timeline reservation models one uninterrupted lane hold, so
         it is only equivalent to :meth:`transfer` for single-chunk
         transfers (one 8 KB page easily fits the 128 KB chunk) with no
-        link fault rules wired (drops/delays need the generator path).
+        *active* link fault rules (drops/delays need the generator
+        path).  A wired-but-quiet injector -- the common case when a
+        fault plan targets other sites, e.g. node crashes -- keeps the
+        fast path: with no rule at (link, drop/delay) the generator
+        path makes no RNG draw, so eliding the checks is drift-free.
+        Re-checked per transfer because rules may be added mid-run.
         """
-        return nbytes <= self.spec.chunk_bytes and self.faults is NULL_INJECTOR
+        if nbytes > self.spec.chunk_bytes:
+            return False
+        faults = self.faults
+        return faults is NULL_INJECTOR or faults.quiet(DROP, DELAY)
+
+    def prefill_costs(self, direction: str, sizes) -> None:
+        """Batch-warm the memoized single-chunk cost table.
+
+        Observationally neutral (pure cache fill with the values
+        :meth:`reserve_call` would compute lazily); vectorized with
+        numpy when several sizes are missing.
+        """
+        missing = [
+            int(n) for n in set(sizes) if (direction, int(n)) not in self._cost_cache
+        ]
+        if not missing:
+            return
+        if direction == "read":
+            rate = self.spec.read_mb_per_s
+        elif direction == "write":
+            rate = self.spec.write_mb_per_s
+        else:
+            raise ValueError(
+                f"direction must be 'read' or 'write', not {direction!r}"
+            )
+        from repro.channel import vector
+
+        overhead = self.spec.per_transfer_overhead_ns
+        for nbytes, cost in vector.transfer_costs(missing, rate):
+            self._cost_cache[(direction, nbytes)] = cost + overhead
 
     def reserve_call(self, direction: str, nbytes: int, fn):
         """Timeline-reserve a single-chunk transfer at sim-now; ``fn``

@@ -157,7 +157,7 @@ class MetricsRegistry:
             return histogram.summary()
         signal = self._time_weighted.get(name)
         if signal is not None:
-            at = now_ns if now_ns is not None else signal._last_time
+            at = now_ns if now_ns is not None else signal.horizon
             return signal.average(at)
         fn = self._callbacks.get(name)
         if fn is not None:
@@ -180,7 +180,7 @@ class MetricsRegistry:
         for name, histogram in self._histograms.items():
             snap[name] = histogram.summary()
         for name, signal in self._time_weighted.items():
-            at = now_ns if now_ns is not None else signal._last_time
+            at = now_ns if now_ns is not None else signal.horizon
             snap[name] = signal.average(at)
         for name, fn in self._callbacks.items():
             snap[name] = fn(now_ns)

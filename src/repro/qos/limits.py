@@ -14,6 +14,8 @@ Both are plain resource wrappers: deterministic, FIFO, and invisible
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.sim import Resource
 from repro.sim.stats import Counter
 
@@ -32,6 +34,14 @@ class ChannelQosState:
         self._prefix = prefix
         self._depth = 0
         self.obs = None
+        self._depth_metric = None
+        #: Fast-path mirror of ``slots``: an available-slot count plus a
+        #: FIFO of deferred grant callbacks.  A run uses either
+        #: :meth:`admitted` (generator) or :meth:`admit_fast` /
+        #: :meth:`release_fast` (timeline) exclusively -- the engine's
+        #: mode is fixed per run -- so the two never double-book.
+        self._fast_avail = max_inflight
+        self._fast_waiting: deque = deque()
 
     def bind_obs(self, obs) -> None:
         """Register throttle counters and the admission-depth timeline."""
@@ -41,12 +51,16 @@ class ChannelQosState:
         registry.register_counter(
             self.throttle_wait_ns.name, self.throttle_wait_ns
         )
+        # Cached handle: this updates twice per admitted op, so the
+        # registry lookup must not sit on the hot path.
+        self._depth_metric = registry.time_weighted(
+            f"{self._prefix}.admission_depth"
+        )
 
     def _note_depth(self) -> None:
-        if self.obs is not None:
-            self.obs.metrics.time_weighted(
-                f"{self._prefix}.admission_depth"
-            ).update(self.sim.now, self._depth)
+        metric = self._depth_metric
+        if metric is not None:
+            metric.update(self.sim._now, self._depth)
 
     def admitted(self, inner):
         """Generator: run ``inner`` (an op-execution generator) holding
@@ -66,6 +80,52 @@ class ChannelQosState:
         finally:
             self._depth -= 1
             self._note_depth()
+
+    # -- timeline fast path --------------------------------------------------------
+    def admit_fast(self, fn) -> None:
+        """Admission for the timeline fast path: ``fn()`` runs at the
+        grant instant and the caller must call :meth:`release_fast` at
+        the op's end.
+
+        Event-shape equivalence with :meth:`admitted`: the generator's
+        slot grant is one scheduled event even when a slot is free
+        (``Request.succeed``), so the grant always costs exactly one
+        hop; the throttle counters update at the grant instant, inside
+        that hop, exactly where the generator resumes past its
+        ``yield slot``.
+        """
+        sim = self.sim
+        queued = sim.now
+        self._depth += 1
+        self._note_depth()
+
+        def hop():
+            waited = sim.now - queued
+            if waited > 0:
+                self.throttled.add()
+                self.throttle_wait_ns.add(waited)
+            fn()
+
+        if self._fast_avail > 0:
+            self._fast_avail -= 1
+            sim._schedule_call(hop, 0)
+        else:
+            self._fast_waiting.append(hop)
+
+    def release_fast(self) -> None:
+        """Return a fast-path admission slot at the op's end instant.
+
+        Grants the next waiter (one scheduled hop, matching the
+        generator's release-inside-with-exit) *before* the depth
+        decrement, mirroring :meth:`admitted`'s ``finally`` ordering.
+        """
+        waiting = self._fast_waiting
+        if waiting:
+            self.sim._schedule_call(waiting.popleft(), 0)
+        else:
+            self._fast_avail += 1
+        self._depth -= 1
+        self._note_depth()
 
     def __repr__(self):
         return (

@@ -7,6 +7,7 @@ inside the simulator (``sim.now``) and in plain functional code.
 from __future__ import annotations
 
 import math
+from heapq import heappop, heappush
 from typing import List, Optional, Sequence
 
 from repro.sim.units import MB_DEC, S
@@ -196,6 +197,15 @@ class TimeWeighted:
 
     Used for queue depths and buffer occupancy: call ``update`` whenever
     the value changes; ``average`` integrates over time.
+
+    The signal also accepts *deferred* relative changes via
+    :meth:`shift_at`: the timeline fast path knows an op's grant instant
+    at reservation time, long before any event fires there, so the
+    depth change for that instant can be queued instead of scheduled.
+    Pending changes are folded in -- in timestamp order -- before any
+    later update and before every read, which integrates exactly the
+    same area as an ``update`` call made by an event at that instant
+    without the cost of the event.
     """
 
     def __init__(self, initial: float = 0.0, start_ns: int = 0):
@@ -203,22 +213,62 @@ class TimeWeighted:
         self._last_time = start_ns
         self._area = 0.0
         self._start = start_ns
+        self._pending: List = []  # heap of (time_ns, order, delta)
+        self._order = 0
 
     @property
     def value(self) -> float:
-        """Current value of the signal."""
+        """Current value of the signal (deferred changes excluded until
+        an update or read at/after their instant folds them in)."""
         return self._value
+
+    @property
+    def horizon(self) -> int:
+        """Timestamp through which the signal is known: the last update
+        or the latest deferred change, whichever is later.  Reads that
+        default to "as far as recorded" (registry snapshots without a
+        timestamp) must use this, not ``_last_time``, so deferred
+        changes count exactly as their event-scheduled equivalents do.
+        """
+        if self._pending:
+            return max(self._last_time, max(t for t, _, _ in self._pending))
+        return self._last_time
+
+    def _settle(self, time_ns: int) -> None:
+        pending = self._pending
+        while pending and pending[0][0] <= time_ns:
+            at, _, delta = heappop(pending)
+            if at < self._last_time:
+                raise ValueError("time went backwards")
+            self._area += self._value * (at - self._last_time)
+            self._value += delta
+            self._last_time = at
 
     def update(self, time_ns: int, value: float) -> None:
         """Record a change of the signal at a timestamp."""
+        if self._pending:
+            self._settle(time_ns)
         if time_ns < self._last_time:
             raise ValueError("time went backwards")
         self._area += self._value * (time_ns - self._last_time)
         self._value = value
         self._last_time = time_ns
 
+    def shift(self, time_ns: int, delta: float) -> None:
+        """Apply a relative change at ``time_ns`` (pending folded first)."""
+        if self._pending:
+            self._settle(time_ns)
+        self.update(time_ns, self._value + delta)
+
+    def shift_at(self, time_ns: int, delta: float) -> None:
+        """Queue a relative change for a (usually future) instant."""
+        heappush(self._pending, (time_ns, self._order, delta))
+        self._order += 1
+
     def average(self, time_ns: int) -> float:
         """Average value from start until ``time_ns``."""
+        if self._pending:
+            self._settle(time_ns)
         if time_ns <= self._start:
             return self._value
         area = self._area + self._value * (time_ns - self._last_time)

@@ -29,6 +29,7 @@ Equivalence rules (the contract the no-drift suite enforces):
 from __future__ import annotations
 
 from bisect import bisect_left
+from heapq import heappop, heappush
 
 
 class ResourceTimeline:
@@ -91,8 +92,99 @@ class ResourceTimeline:
         self._tail_hooks = hooks
         return grant, end
 
+    def reserve_bulk(self, request_ns: int, duration_ns: int, count: int):
+        """Reserve ``count`` back-to-back equal-length services at once.
+
+        Returns ``(grants, ends)`` as numpy int64 arrays and advances
+        the timeline past the last reservation.  This is the vectorized
+        form of ``count`` consecutive :meth:`reserve` calls made at the
+        same ``request_ns``: the first grant is ``max(request, free_at)``
+        and each successor is granted exactly at its predecessor's end.
+
+        ``_tail_hooks`` is cleared -- the caller is responsible for
+        scheduling the end events (and may rebuild the hook chain
+        itself, as the vectorized batch scheduler does).
+        """
+        import numpy as np
+
+        free = self.free_at
+        first = free if free > request_ns else request_ns
+        grants = first + duration_ns * np.arange(count, dtype=np.int64)
+        ends = grants + duration_ns
+        self.free_at = int(ends[-1])
+        self._tail_hooks = None
+        return grants, ends
+
     def __repr__(self):
         return f"ResourceTimeline(free_at={self.free_at})"
+
+
+class PriorityTimeline:
+    """Analytic mirror of a capacity-1 ``PriorityResource``.
+
+    Unlike :class:`ResourceTimeline`, grant instants under non-uniform
+    priorities cannot be computed at request time: which waiter runs
+    next is decided when the current holder releases.  So this timeline
+    keeps the waiter heap explicitly -- ordered by ``(priority, order)``
+    exactly like ``PriorityResource`` -- but still schedules only two
+    events per phase (one grant hop, one end) instead of running a
+    process.
+
+    Event-shape equivalence with the generator path:
+
+    * an immediate grant on the slow path is still one scheduled event
+      (``Request.succeed`` schedules the grant), so :meth:`reserve_call`
+      always pays exactly one grant hop;
+    * a queued waiter is granted inside the holder's release, *before*
+      the holder's process continuation runs -- :meth:`_start`'s end
+      callback grants the next waiter first, then runs the holder's
+      continuation, preserving same-instant seq order.
+    """
+
+    __slots__ = ("_waiting", "_order", "_busy")
+
+    def __init__(self):
+        self._waiting: list = []
+        self._order = 0
+        self._busy = False
+
+    def reserve_call(self, sim, priority: int, duration_ns: int, granted, fn):
+        """Queue one phase: ``granted(grant, end)`` runs at the grant
+        instant, ``fn()`` at the end instant."""
+        self._order += 1
+        entry = (priority, self._order, duration_ns, granted, fn)
+        if self._busy:
+            heappush(self._waiting, entry)
+        else:
+            self._start(sim, entry)
+
+    def _start(self, sim, entry) -> None:
+        self._busy = True
+        _priority, _order, duration_ns, granted, fn = entry
+
+        def hop():
+            grant = sim._now
+            granted(grant, grant + duration_ns)
+
+            def ended():
+                # Grant the successor (or go idle) BEFORE the holder's
+                # continuation, matching the slow path's release-inside-
+                # the-with-exit ordering.
+                if self._waiting:
+                    self._start(sim, heappop(self._waiting))
+                else:
+                    self._busy = False
+                fn()
+
+            sim._schedule_call(ended, duration_ns)
+
+        sim._schedule_call(hop, 0)
+
+    def __repr__(self):
+        return (
+            f"PriorityTimeline(busy={self._busy}, "
+            f"waiting={len(self._waiting)})"
+        )
 
 
 class BusyUnion:

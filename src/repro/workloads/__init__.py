@@ -51,6 +51,7 @@ from repro.workloads.scenarios import (
     ScenarioRunner,
     TenantReport,
     run_scenario,
+    run_scenario_sharded,
 )
 from repro.workloads.tenants import (
     OP_KINDS,
@@ -94,6 +95,7 @@ __all__ = [
     "ScenarioRunner",
     "TenantReport",
     "run_scenario",
+    "run_scenario_sharded",
     "drive_sdf_reads",
     "drive_sdf_writes",
     "drive_conventional_reads",

@@ -29,12 +29,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import TransientFault
+from repro.errors import ConfigError, TransientFault
 from repro.faults.injector import BROWNOUT, CRASH
 from repro.faults.plan import FaultPlan
 from repro.faults.runner import FaultRunner
 from repro.obs.attach import Observability
+from repro.obs.metrics import Histogram
 from repro.sim import Simulator
+from repro.sim.shard import SealedHorizonMerger, run_sharded
 from repro.sim.units import MS, S
 from repro.workloads.arrivals import OpenLoopArrivals
 from repro.workloads.tenants import TenantSpec
@@ -201,6 +203,7 @@ class ScenarioRunner:
         qos=None,
         obs: Optional[Observability] = None,
         policy=None,
+        only_node: Optional[int] = None,
     ):
         from repro.cluster.control import ClusterController
         from repro.cluster.network import Network
@@ -209,6 +212,15 @@ class ScenarioRunner:
 
         self.scenario = scenario
         self.qos = qos
+        #: Sharded mode: build and simulate only this node (plus the
+        #: tenant drivers, which run everywhere so every shard draws the
+        #: full arrival chronology and skips foreign-owned requests).
+        self.only_node = only_node
+        self._local_name = f"n{only_node}" if only_node is not None else None
+        if only_node is not None and not (0 <= only_node < scenario.n_nodes):
+            raise ConfigError(
+                f"only_node {only_node} outside [0, {scenario.n_nodes})"
+            )
         # An empty PolicyPlan must leave the run untouched (the no-drift
         # contract every plane honours), so it is simply not wired.
         self.policy = policy if policy is not None and policy.rules else None
@@ -218,6 +230,8 @@ class ScenarioRunner:
         self.network = Network(self.sim)
         self.plan = FaultPlan(seed=scenario.seed)
         for burst in scenario.faults:
+            if only_node is not None and burst.node != only_node:
+                continue  # foreign node: its shard schedules it
             kwargs = (
                 {"multiplier": burst.multiplier}
                 if burst.kind == BROWNOUT
@@ -245,6 +259,8 @@ class ScenarioRunner:
         self.runner = FaultRunner(self.sim, self.plan)
         self.breakers: Dict[str, object] = {}
         for index in range(scenario.n_nodes):
+            if only_node is not None and index != only_node:
+                continue
             name = f"n{index}"
             server = build_sdf_server(
                 self.sim,
@@ -263,18 +279,28 @@ class ScenarioRunner:
             if self.policy is not None:
                 server.attach(self.policy, name=name)
             self.runner.bind(name, server)
-        # Slices partition [0, key_span), placed round-robin.
+        # Slices partition [0, key_span), placed round-robin.  Placement
+        # is computed over the *global* (lexicographically sorted) node
+        # names even in sharded mode, so every shard agrees on who owns
+        # what and the local subset matches the in-process layout.
         span = scenario.key_span
         bounds = [
             span * index // scenario.n_slices
             for index in range(scenario.n_slices + 1)
         ]
         self._slice_los: List[int] = bounds[:-1]
-        node_names = sorted(self.ctrl.nodes)
+        node_names = sorted(f"n{i}" for i in range(scenario.n_nodes))
+        self._owners: List[str] = [
+            node_names[index % len(node_names)]
+            for index in range(scenario.n_slices)
+        ]
         for index in range(scenario.n_slices):
+            owner = self._owners[index]
+            if self._local_name is not None and owner != self._local_name:
+                continue
             self.ctrl.create_slice(
                 KeyRange(bounds[index], bounds[index + 1]),
-                on=[node_names[index % len(node_names)]],
+                on=[owner],
                 memtable_bytes=scenario.memtable_bytes,
             )
         self._preload()
@@ -434,6 +460,13 @@ class ScenarioRunner:
                 key = self._quantize(key)
             size = tenant.sizes.sample(rng)
             seed = int(rng.integers(0, 2**31))
+            if self._local_name is not None:
+                # Sharded: every shard makes every draw above (keeping
+                # the RNG stream byte-identical) but only the owning
+                # shard issues the request.
+                slice_index = bisect.bisect_right(self._slice_los, key) - 1
+                if self._owners[slice_index] != self._local_name:
+                    continue
             outcomes["offered"] += 1
             metrics.counter(f"tenant.{tenant.name}.offered").add(1)
             sim.process(
@@ -502,34 +535,50 @@ class ScenarioRunner:
             latency = snapshot.get(
                 f"tenant.{tenant.name}.request_ns", {"count": 0}
             )
-            report = TenantReport(
-                name=tenant.name,
-                offered=int(
-                    snapshot.get(f"tenant.{tenant.name}.offered", 0)
-                ),
-                good=int(snapshot.get(f"tenant.{tenant.name}.good", 0)),
-                late=int(snapshot.get(f"tenant.{tenant.name}.late", 0)),
-                shed=int(snapshot.get(f"tenant.{tenant.name}.shed", 0)),
-                retries=int(
-                    snapshot.get(f"tenant.{tenant.name}.retries", 0)
-                ),
-                deadline_ms=tenant.slo.deadline_ns / 1e6,
+            counts = {
+                field_name: int(
+                    snapshot.get(f"tenant.{tenant.name}.{field_name}", 0)
+                )
+                for field_name in ("offered", "good", "late", "shed",
+                                   "retries")
+            }
+            result.tenants[tenant.name] = _tenant_report(
+                tenant, counts, latency, duration_s
             )
-            report.goodput_rps = report.good / duration_s
-            if latency["count"]:
-                report.p50_ms = latency["p50"] / 1e6
-                report.p99_ms = latency["p99"] / 1e6
-            if tenant.slo.target_p99_ns is not None:
-                report.p99_slo_ok = bool(
-                    latency["count"]
-                    and latency["p99"] <= tenant.slo.target_p99_ns
-                )
-            if tenant.slo.min_goodput_rps is not None:
-                report.goodput_slo_ok = bool(
-                    report.goodput_rps >= tenant.slo.min_goodput_rps
-                )
-            result.tenants[tenant.name] = report
         return result
+
+
+def _tenant_report(
+    tenant: TenantSpec, counts: dict, latency: dict, duration_s: float
+) -> TenantReport:
+    """Assemble one tenant's report from counts + a latency summary.
+
+    Shared by the in-process and sharded paths so the derived floats
+    (goodput, ms conversions, SLO booleans) go through one code path --
+    identical arithmetic, byte-identical ``to_json``.
+    """
+    report = TenantReport(
+        name=tenant.name,
+        offered=int(counts.get("offered", 0)),
+        good=int(counts.get("good", 0)),
+        late=int(counts.get("late", 0)),
+        shed=int(counts.get("shed", 0)),
+        retries=int(counts.get("retries", 0)),
+        deadline_ms=tenant.slo.deadline_ns / 1e6,
+    )
+    report.goodput_rps = report.good / duration_s
+    if latency["count"]:
+        report.p50_ms = latency["p50"] / 1e6
+        report.p99_ms = latency["p99"] / 1e6
+    if tenant.slo.target_p99_ns is not None:
+        report.p99_slo_ok = bool(
+            latency["count"] and latency["p99"] <= tenant.slo.target_p99_ns
+        )
+    if tenant.slo.min_goodput_rps is not None:
+        report.goodput_slo_ok = bool(
+            report.goodput_rps >= tenant.slo.min_goodput_rps
+        )
+    return report
 
 
 def run_scenario(
@@ -537,6 +586,157 @@ def run_scenario(
     qos=None,
     obs: Optional[Observability] = None,
     policy=None,
+    shard_workers: Optional[int] = None,
 ) -> ScenarioResult:
-    """Build, wire and run one scenario; returns its result."""
+    """Build, wire and run one scenario; returns its result.
+
+    ``shard_workers`` switches to sharded execution: one sub-simulation
+    per node across that many worker processes, with a byte-identical
+    ``to_json`` regardless of worker count (see
+    :func:`run_scenario_sharded` for the eligibility rules).
+    """
+    if shard_workers is not None:
+        return run_scenario_sharded(
+            scenario, shard_workers, qos=qos, policy=policy
+        )
     return ScenarioRunner(scenario, qos=qos, obs=obs, policy=policy).run()
+
+
+# -- sharded execution ------------------------------------------------------------
+
+
+def _clone_qos(qos):
+    """A fresh single-use :class:`~repro.qos.config.QosPlan` from a
+    caller plan's frozen sub-configs (plans hold per-run mutable state
+    and must never be reused across simulations)."""
+    if qos is None:
+        return None
+    from repro.qos.config import QosPlan
+
+    return QosPlan(
+        channel=qos.channel,
+        write_stall=qos.write_stall,
+        admission=qos.admission,
+        migration=qos.migration,
+        breaker=qos.breaker,
+    )
+
+
+def _shard_node_payload(scenario: Scenario, node_index: int, qos) -> dict:
+    """Worker body: simulate one node's shard, return plain-data results."""
+    runner = ScenarioRunner(
+        scenario,
+        qos=_clone_qos(qos),
+        obs=Observability(),
+        only_node=node_index,
+    )
+    result = runner.run()
+    metrics = runner.obs.metrics
+    return {
+        "node": node_index,
+        "events": int(runner.sim._seq),
+        "sim_end_ns": int(runner.sim.now),
+        "faults_fired": runner.plan.fault_count(),
+        "fault_log": list(runner.plan.signatures()),
+        "outcomes": runner.outcomes,
+        "samples": {
+            tenant.name: list(
+                metrics.histogram(
+                    f"tenant.{tenant.name}.request_ns"
+                ).samples
+            )
+            for tenant in scenario.tenants
+        },
+        "result_json": result.to_json(),
+    }
+
+
+def _merge_payloads(scenario: Scenario, payloads: list) -> ScenarioResult:
+    """Deterministic merge of per-node shard payloads.
+
+    Tenant counts are order-free sums; latency percentiles are computed
+    by pooling every shard's samples into one fresh histogram and going
+    through the same ``summary()`` path as the in-process report; the
+    fault logs merge chronologically through the sealed-horizon merger.
+    """
+    merger = SealedHorizonMerger(len(payloads))
+    for stream, payload in enumerate(payloads):
+        for signature in payload["fault_log"]:
+            # signature[2] is the event's at_ns (see FaultEvent).
+            merger.push(stream, signature[2], tuple(signature))
+        merger.advance(stream, payload["sim_end_ns"])
+    fault_log = merger.drain()
+
+    duration_s = scenario.duration_ns / 1e9
+    result = ScenarioResult(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        duration_ns=scenario.duration_ns,
+        sim_end_ns=max(p["sim_end_ns"] for p in payloads),
+        faults_fired=sum(p["faults_fired"] for p in payloads),
+        snapshot={
+            "faults.merged_log": fault_log,
+            # Deterministic total event count across shards (the perf
+            # harness gates on it, like sim._seq for in-process runs).
+            "shard.events": sum(p["events"] for p in payloads),
+        },
+    )
+    for tenant in scenario.tenants:
+        counts: Dict[str, int] = {}
+        for payload in payloads:
+            for field_name, value in payload["outcomes"][tenant.name].items():
+                counts[field_name] = counts.get(field_name, 0) + value
+        pooled = Histogram(f"tenant.{tenant.name}.request_ns")
+        for payload in payloads:
+            pooled._samples.extend(payload["samples"][tenant.name])
+        latency = pooled.summary()
+        result.snapshot[pooled.name] = latency
+        for field_name, value in sorted(counts.items()):
+            result.snapshot[f"tenant.{tenant.name}.{field_name}"] = value
+        result.tenants[tenant.name] = _tenant_report(
+            tenant, counts, latency, duration_s
+        )
+    return result
+
+
+def run_scenario_sharded(
+    scenario: Scenario,
+    workers: int,
+    qos=None,
+    policy=None,
+    inline: bool = False,
+) -> ScenarioResult:
+    """Run one scenario as per-node shards in worker processes.
+
+    Eligible only when the control plane is *static* for the run -- no
+    rebalancer and no (non-empty) policy plan -- because those act on
+    cross-node state mid-run, which would couple the shards.  Every
+    shard replays the full tenant-driver chronology (all RNG draws) and
+    issues only its own node's requests, so per-node event streams are
+    identical to the in-process run's restriction to that node, and the
+    merged :meth:`ScenarioResult.to_json` is byte-identical to the
+    in-process result for any worker count (1, 2, N -- see
+    :mod:`repro.sim.shard` for why worker count cannot matter).
+
+    The caller's ``qos`` plan is treated as a template: each shard
+    rebuilds a fresh single-use plan from its frozen sub-configs.
+    Per-shard observability stays inside the workers (plain-data
+    summaries cross the process boundary); attach a full
+    :class:`Observability` via the in-process path when you need traces.
+    """
+    if scenario.rebalance_every_ns is not None:
+        raise ConfigError(
+            "sharded execution requires a static control plane: "
+            "disable the rebalancer (rebalance_every_ns=None)"
+        )
+    if policy is not None and getattr(policy, "rules", None):
+        raise ConfigError(
+            "sharded execution requires a static control plane: "
+            "policy plans with rules act across nodes mid-run"
+        )
+    tasks = [
+        (lambda index=index: _shard_node_payload(scenario, index, qos))
+        for index in range(scenario.n_nodes)
+    ]
+    payloads = run_sharded(tasks, workers, inline=inline)
+    return _merge_payloads(scenario, payloads)

@@ -196,14 +196,161 @@ def test_full_fault_plan_forces_link_fallback_and_matches():
     assert run("generator") == run("timeline")
 
 
-def test_qos_plan_forces_generator_fallback_and_matches():
+@pytest.mark.parametrize("max_inflight", [1, 2, 8])
+def test_qos_plan_stays_fast_and_matches(max_inflight):
+    """QoS admission slots are modeled natively by the fast path: the
+    device must NOT fall back, and the schedule plus every throttle
+    counter must stay byte-identical."""
+
     def run(mode):
         sim = Simulator()
         sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
-        plan = QosPlan(channel=ChannelQosConfig(max_inflight_ops=8))
+        plan = QosPlan(channel=ChannelQosConfig(max_inflight_ops=max_inflight))
         attach_device_qos(plan, sdf)
-        assert not sdf.fast_path_ok()
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        qos_counters = tuple(
+            (
+                engine.qos.throttled.value,
+                engine.qos.throttle_wait_ns.value,
+            )
+            for engine in sdf.engines
+        )
+        return sdf_signature(sim, sdf), qos_counters
+
+    sig_g, qos_g = run("generator")
+    sig_t, qos_t = run("timeline")
+    assert sig_g == sig_t
+    assert qos_g == qos_t
+    if max_inflight == 1:
+        # The bound actually bit, or the counters prove nothing.
+        assert any(throttled for throttled, _ in qos_g)
+
+
+def span_signature(obs):
+    return tuple(
+        (s.track, s.name, s.start_ns, s.end_ns, tuple(sorted(s.args.items())))
+        for s in obs.trace.spans
+    )
+
+
+def test_tracing_stays_fast_and_matches():
+    """Tracing no longer forces the generator path: spans are emitted
+    from reservation intervals and must be identical -- same tracks,
+    same instants, same wait args, same order."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        obs = Observability(trace=True)
+        attach_device(obs, sdf)
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return sdf_signature(sim, sdf), span_signature(obs), \
+            obs.metrics.snapshot()
+
+    sig_g, spans_g, snap_g = run("generator")
+    sig_t, spans_t, snap_t = run("timeline")
+    assert spans_g  # tracing actually recorded something
+    assert sig_g == sig_t
+    assert spans_g == spans_t
+    assert snap_g == snap_t
+
+
+def test_nonuniform_priorities_stay_fast_and_match():
+    """Non-uniform op priorities route to the priority-aware analytic
+    queue instead of falling back; the reordered schedule must match
+    the generator's PriorityResource byte for byte."""
+    from repro.channel.engine import build_engines
+    from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
+
+    geometry = SDF_CHIP_GEOMETRY.scaled(0.01)
+    priorities = {OpKind.READ: 0, OpKind.PROGRAM: 1, OpKind.ERASE: 2}
+
+    def ops_soup(n):
+        planes = geometry.planes_per_chip
+        ops = []
+        for index in range(n):
+            address = PhysicalAddress(0, index % 2, index % planes, 0,
+                                      index % 8)
+            kind = (OpKind.ERASE, OpKind.PROGRAM, OpKind.READ)[index % 3]
+            nbytes = geometry.page_size if kind is not OpKind.ERASE else 0
+            ops.append(FlashOp(kind, address, nbytes))
+        return ops
+
+    def run(mode, trace):
+        sim = Simulator()
+        engine = build_engines(sim, 1, geometry, MICRON_25NM_MLC, 2,
+                               priorities=priorities, mode=mode)[0]
+        obs = Observability(trace=trace) if trace else None
+        if obs is not None:
+            sim.obs = obs
+            engine.obs = obs
+        if mode == "timeline":
+            assert engine.fast_ok()
+        done = {}
+
+        def scenario():
+            # Two waves so later requests queue behind reordered
+            # earlier ones.
+            yield from engine.execute_batch(ops_soup(18))
+            yield from engine.execute_batch(ops_soup(12))
+            done["at"] = sim.now
+
+        sim.run(until=sim.process(scenario()))
+        spans = span_signature(obs) if obs is not None else ()
+        return (
+            done["at"],
+            engine.ops_executed.value,
+            engine.wait_ns.value,
+            engine.busy_value(sim.now),
+            spans,
+        )
+
+    for trace in (False, True):
+        result_g = run("generator", trace)
+        result_t = run("timeline", trace)
+        assert result_g == result_t
+        if trace:
+            assert result_g[4]  # spans were actually recorded
+
+
+def test_quiet_link_fault_plan_stays_fast():
+    """A fault plan with no link rules (the fleet-day shape: node
+    crashes only) must not kick the device off the fast path just
+    because ``attach_device_faults`` wired the link injector."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        plan = FaultPlan(seed=11)
+        plan.add("nand", "read_uncorrectable", rate=1e-9)
+        attach_device_faults(plan, sdf)
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
         sdf.prefill(1.0)
         drive_sdf_reads(
             sim,
@@ -219,14 +366,45 @@ def test_qos_plan_forces_generator_fallback_and_matches():
     assert run("generator") == run("timeline")
 
 
-def test_tracing_forces_generator_fallback():
-    sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
-                    mode="timeline")
-    assert sdf.fast_path_ok()
-    obs = Observability(trace=True)
-    attach_device(obs, sdf)
-    assert not sdf.fast_path_ok()
+def test_qos_tracing_and_faults_combined_match():
+    """The fleet-day configuration in miniature: QoS + tracing + a
+    quiet-link fault plan with channel stalls, all on the fast path."""
+
+    def run(mode):
+        sim = Simulator()
+        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+                        mode=mode)
+        obs = Observability(trace=True)
+        attach_device(obs, sdf)
+        qos = QosPlan(channel=ChannelQosConfig(max_inflight_ops=4))
+        attach_device_qos(qos, sdf)
+        plan = FaultPlan(seed=13)
+        for channel in range(N_CHANNELS):
+            plan.add(f"ch{channel}", "stall", rate=0.05, delay_ns=500_000)
+        attach_device_faults(plan, sdf)
+        if mode == "timeline":
+            assert sdf.fast_path_ok()
+        sdf.prefill(1.0)
+        drive_sdf_reads(
+            sim,
+            sdf,
+            request_bytes=2 * MIB,
+            duration_ns=15 * MS,
+            channels=range(N_CHANNELS),
+            sequential=True,
+            rng=np.random.default_rng(0),
+        )
+        return (
+            sdf_signature(sim, sdf),
+            span_signature(obs),
+            tuple(plan.signatures()),
+            obs.metrics.snapshot(),
+        )
+
+    result_g = run("generator")
+    result_t = run("timeline")
+    assert result_g[2]  # stalls actually fired
+    assert result_g == result_t
 
 
 def test_metrics_only_observability_matches():

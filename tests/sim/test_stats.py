@@ -97,6 +97,38 @@ def test_time_weighted_average():
         queue_depth.update(5, 1)
 
 
+def test_time_weighted_deferred_shifts_match_event_order():
+    """shift/shift_at integrate the same area as eager event-time
+    updates -- the fast path's event-free queue-depth accounting."""
+    eager = TimeWeighted()
+    lazy = TimeWeighted()
+    # Two queued ops: requests at 10 and 20, grants at 30 and 50.
+    for t, v in ((10, 1), (20, 2), (30, 1), (50, 0)):
+        eager.update(t, v)
+    lazy.shift(10, 1)
+    lazy.shift_at(30, -1)
+    lazy.shift(20, 1)  # before the pending grant; nothing settles yet
+    lazy.shift_at(50, -1)
+    assert lazy.horizon == 50 and eager.horizon == 50
+    assert lazy.average(60) == eager.average(60)
+    assert lazy.value == eager.value == 0
+
+
+def test_time_weighted_deferred_settle_is_timestamp_ordered():
+    lazy = TimeWeighted()
+    lazy.shift(0, 3)
+    lazy.shift_at(40, -1)
+    lazy.shift_at(20, -1)  # queued out of order; settles by timestamp
+    # Reads fold only changes at/before the read instant.
+    assert lazy.average(30) == pytest.approx((3 * 20 + 2 * 10) / 30)
+    # A later absolute update folds the remaining change first.
+    lazy.update(50, 7)
+    assert lazy.value == 7
+    assert lazy.average(50) == pytest.approx(
+        (3 * 20 + 2 * 20 + 1 * 10) / 50
+    )
+
+
 def test_transfer_ns_and_mb_per_s_roundtrip():
     nbytes = 8 * 1024 * 1024
     elapsed = transfer_ns(nbytes, 100.0)  # 8 MiB at 100 MB/s
