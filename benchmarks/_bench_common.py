@@ -66,8 +66,7 @@ from repro.cluster import (
     BatchSpec,
     KVClient,
     Network,
-    build_conventional_server,
-    build_sdf_server,
+    build_storage_server,
     run_clients,
 )
 from repro.kv.slice import Slice, partition_key_space
@@ -75,34 +74,48 @@ from repro.kv.slice import Slice, partition_key_space
 KEY_SPAN = 1_000_000
 
 
-def make_slices(n_slices):
+def make_slices(n_slices, memtable_bytes=None):
+    from repro.kv.lsm import LSMTree
+
     return [
-        Slice(index, key_range)
+        Slice(
+            index,
+            key_range,
+            lsm=(
+                LSMTree(memtable_bytes=memtable_bytes)
+                if memtable_bytes
+                else None
+            ),
+        )
         for index, key_range in enumerate(
             partition_key_space(n_slices, 0, KEY_SPAN)
         )
     ]
 
 
-def build_server(sim, kind, n_slices, capacity_scale=0.03, **kwargs):
-    """A storage server over 'sdf' or 'gen3' (or 'intel') storage."""
-    slices = make_slices(n_slices)
-    if kind == "sdf":
-        return build_sdf_server(
-            sim, slices, capacity_scale=capacity_scale, **kwargs
-        )
+def build_server(sim, kind, n_slices, capacity_scale=0.03,
+                 memtable_bytes=None, **kwargs):
+    """A storage server over any device-zoo kind.
+
+    ``kind`` is a registered device kind ("sdf", "conventional",
+    "dftl", "hybrid", "mqftl", "zoned") or one of the legacy aliases
+    "gen3" (the Huawei conventional baseline) / "intel" (the Intel 320
+    spec at a larger scale so a patch extent still fits).
+    """
+    slices = make_slices(n_slices, memtable_bytes=memtable_bytes)
     if kind == "gen3":
-        return build_conventional_server(
-            sim, slices, capacity_scale=capacity_scale, **kwargs
-        )
-    if kind == "intel":
+        kind = "conventional"
+    elif kind == "intel":
         from repro.devices import INTEL_320_SPEC
 
-        return build_conventional_server(
-            sim, slices, spec=INTEL_320_SPEC,
+        return build_storage_server(
+            sim, slices, device_kind="conventional", spec=INTEL_320_SPEC,
+            n_channels=INTEL_320_SPEC.n_channels,
             capacity_scale=max(capacity_scale * 4, 0.05), **kwargs
         )
-    raise ValueError(f"unknown device kind {kind!r}")
+    return build_storage_server(
+        sim, slices, device_kind=kind, capacity_scale=capacity_scale, **kwargs
+    )
 
 
 def preload_keys(server, keys_per_slice, value_bytes):
@@ -165,7 +178,9 @@ def measure_kv_reads(
     # Measure at the device: client batch completions are far too coarse
     # once a batch spans a large fraction of the run.
     device_stats = (
-        server.system.device.stats if kind == "sdf" else server.device.stats
+        server.system.device.stats
+        if hasattr(server, "system")
+        else server.device.stats
     )
     start = warmup_ns
     return device_stats.read_meter.mb_per_s(start, duration_ns)

@@ -56,12 +56,12 @@ def _engine_mode(mode: str):
 
 
 def _fig7_point(mode: str, direction: str):
-    from repro.devices import build_sdf
+    from repro.devices import build_device
     from repro.sim import MIB, MS, Simulator
     from repro.workloads import drive_sdf_reads, drive_sdf_writes
 
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, mode=mode)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, mode=mode)
     if direction == "read":
         sdf.prefill(1.0)
         wall0 = time.perf_counter()

@@ -22,7 +22,7 @@ from _bench_common import emit, run_once
 
 from repro.core import ErasePolicy, LeastLoadedPlacement
 from repro.core.api import build_sdf_system
-from repro.devices import HUAWEI_GEN3_SPEC, ConventionalSSD, build_conventional
+from repro.devices import build_device, ConventionalSSD, HUAWEI_GEN3_SPEC
 from repro.ftl import PageFTL
 from repro.nand import FlashArray, FlashGeometry, NandTiming
 from repro.sim import AllOf, MS, Simulator

@@ -19,7 +19,7 @@ from repro.analysis import (
     sdf_raw_bandwidths,
 )
 from repro.analysis.cost import cost_reduction_vs_commodity
-from repro.devices import build_sdf
+from repro.devices import build_device
 from repro.sim import MS, Simulator
 from repro.workloads import drive_sdf_writes
 
@@ -27,12 +27,12 @@ from repro.workloads import drive_sdf_writes
 def test_claims_capacity_cost(benchmark, paper):
     def run():
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=0.004)
+        sdf = build_device("sdf", sim, capacity_scale=0.004)
         drive_sdf_writes(sim, sdf, duration_ns=900 * MS, warmup_ns=150 * MS)
         write_gb_s = sdf.link.write_meter.mb_per_s(150 * MS, 900 * MS) / 1000
         # Capacity utilization is quantized by block count, so measure
         # it on a full-geometry (704 GB) device: 2027/2048 blocks ~ 99%.
-        full = build_sdf(Simulator(), capacity_scale=1.0)
+        full = build_device("sdf", Simulator(), capacity_scale=1.0)
         return write_gb_s, full.capacity_utilization
 
     write_gb_s, utilization = run_once(benchmark, run)

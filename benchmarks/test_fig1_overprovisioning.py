@@ -17,7 +17,7 @@ import numpy as np
 
 from _bench_common import emit, run_once
 
-from repro.devices import INTEL_320_SPEC, build_conventional
+from repro.devices import build_device, INTEL_320_SPEC
 from repro.nand.geometry import FlashGeometry
 from repro.sim import MS, Simulator
 from repro.workloads.generators import drive_conventional_writes
@@ -52,7 +52,7 @@ def measure_op_point(op_ratio: float) -> float:
         # per-op FTL/controller cost that flattens the curve at high OP.
         controller_write_ns_per_page=350_000,
     )
-    device = build_conventional(sim, spec)
+    device = build_device("conventional", sim, spec=spec)
     device.prefill(1.0)
     # Functional churn to write-amplification steady state.
     rng = np.random.default_rng(17)

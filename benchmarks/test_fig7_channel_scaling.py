@@ -10,7 +10,7 @@ import numpy as np
 
 from _bench_common import emit, run_once
 
-from repro.devices import build_sdf
+from repro.devices import build_device
 from repro.obs import Observability, attach_device
 from repro.sim import MIB, MS, Simulator
 from repro.workloads import drive_sdf_reads, drive_sdf_writes
@@ -21,7 +21,7 @@ WRITE_POINTS = [4, 16, 32, 44]
 
 def read_throughput(n_channels: int, obs=None) -> float:
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf = build_device("sdf", sim, capacity_scale=0.004)
     if obs is not None:
         attach_device(obs, sdf)
     sdf.prefill(1.0)
@@ -42,7 +42,7 @@ def read_throughput(n_channels: int, obs=None) -> float:
 
 def write_throughput(n_channels: int) -> float:
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf = build_device("sdf", sim, capacity_scale=0.004)
     drive_sdf_writes(
         sim,
         sdf,

@@ -13,7 +13,7 @@ import numpy as np
 
 from _bench_common import emit, run_once
 
-from repro.devices import HUAWEI_GEN3_SPEC, ConventionalSSD, build_sdf
+from repro.devices import build_device, ConventionalSSD, HUAWEI_GEN3_SPEC
 from repro.sim import MIB, MS, Simulator
 
 
@@ -56,7 +56,7 @@ def sdf_write_latencies(n_requests: int, obs=None):
     from repro.sim.stats import LatencyRecorder
 
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=8)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=8)
     if obs is not None:
         attach_device(obs, sdf)
     sdf.prefill(1.0)

@@ -11,7 +11,7 @@ import numpy as np
 
 from _bench_common import emit, run_once
 
-from repro.devices import build_sdf
+from repro.devices import build_device
 from repro.interfaces import KERNEL_IO_STACK, SDF_USER_SPACE_STACK
 from repro.sim import AllOf, MS, Simulator, US
 from repro.workloads import drive_sdf_reads
@@ -20,7 +20,7 @@ from repro.workloads import drive_sdf_reads
 def erase_throughput_gb_s():
     """Erase every block of every channel as fast as possible."""
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf = build_device("sdf", sim, capacity_scale=0.004)
     sdf.prefill(1.0)
     erased_bytes = {"total": 0}
 
@@ -41,7 +41,7 @@ def test_misc_erase_iostack(benchmark):
 
         # Interrupt merging under a high-IOPS read load.
         sim = Simulator()
-        sdf2 = build_sdf(sim, capacity_scale=0.004)
+        sdf2 = build_device("sdf", sim, capacity_scale=0.004)
         sdf2.prefill(1.0)
         drive_sdf_reads(
             sim, sdf2, 8192, duration_ns=30 * MS,

@@ -20,10 +20,10 @@ from repro.analysis.bandwidth import (
     raw_write_bandwidth_mb_s,
 )
 from repro.devices import (
+    build_device,
     HUAWEI_GEN3_SPEC,
     INTEL_320_SPEC,
     MEMBLAZE_Q520_SPEC,
-    build_conventional,
 )
 from repro.sim import MS, Simulator
 from repro.workloads import drive_conventional_reads, drive_conventional_writes
@@ -34,7 +34,7 @@ SPECS = [INTEL_320_SPEC, HUAWEI_GEN3_SPEC, MEMBLAZE_Q520_SPEC]
 def measure_device(spec):
     erase_block = spec.geometry.block_size
     sim = Simulator()
-    device = build_conventional(sim, spec, capacity_scale=BENCH_SCALE)
+    device = build_device("conventional", sim, spec=spec, capacity_scale=BENCH_SCALE)
     device.prefill(0.8)
     read = drive_conventional_reads(
         sim, device, request_bytes=erase_block, duration_ns=60 * MS,
@@ -45,7 +45,7 @@ def measure_device(spec):
     from dataclasses import replace
 
     write_spec = replace(spec, dram_buffer_bytes=16 << 20)
-    device = build_conventional(sim, write_spec, capacity_scale=BENCH_SCALE)
+    device = build_device("conventional", sim, spec=write_spec, capacity_scale=BENCH_SCALE)
     write = drive_conventional_writes(
         sim, device, request_bytes=erase_block, duration_ns=150 * MS,
         queue_depth=8, sequential=True, warmup_ns=30 * MS,

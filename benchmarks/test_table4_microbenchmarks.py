@@ -16,10 +16,9 @@ import numpy as np
 from _bench_common import BENCH_SCALE, emit, run_once
 
 from repro.devices import (
+    build_device,
     HUAWEI_GEN3_SPEC,
     INTEL_320_SPEC,
-    build_conventional,
-    build_sdf,
 )
 from repro.sim import KIB, MIB, MS, Simulator
 from repro.workloads import (
@@ -37,7 +36,7 @@ def measure_sdf():
     results = {}
     for label, nbytes in READ_SIZES:
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=0.004)
+        sdf = build_device("sdf", sim, capacity_scale=0.004)
         sdf.prefill(1.0)
         duration = 60 * MS if nbytes <= 64 * KIB else 900 * MS
         warmup = duration // 6
@@ -56,7 +55,7 @@ def measure_sdf():
         else:
             results[label] = request_level / 1000.0
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004)
+    sdf = build_device("sdf", sim, capacity_scale=0.004)
     drive_sdf_writes(sim, sdf, duration_ns=900 * MS, warmup_ns=150 * MS)
     results["w8m"] = (
         sdf.link.write_meter.mb_per_s(150 * MS, 900 * MS) / 1000.0
@@ -70,7 +69,7 @@ def measure_conventional(spec, write_buffer_bytes=32 << 20):
     results = {}
     for label, nbytes in READ_SIZES:
         sim = Simulator()
-        device = build_conventional(sim, spec, capacity_scale=BENCH_SCALE)
+        device = build_device("conventional", sim, spec=spec, capacity_scale=BENCH_SCALE)
         device.prefill(0.8)
         duration = 40 * MS if nbytes <= 64 * KIB else 150 * MS
         results[label] = (
@@ -81,9 +80,7 @@ def measure_conventional(spec, write_buffer_bytes=32 << 20):
             / 1000.0
         )
     sim = Simulator()
-    device = build_conventional(
-        sim,
-        replace(spec, dram_buffer_bytes=write_buffer_bytes),
+    device = build_device("conventional", sim, spec=replace(spec, dram_buffer_bytes=write_buffer_bytes),
         capacity_scale=BENCH_SCALE,
     )
     drive_conventional_writes(

@@ -16,7 +16,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.devices import HUAWEI_GEN3_SPEC, ConventionalSSD, build_sdf
+from repro.devices import build_device, ConventionalSSD, HUAWEI_GEN3_SPEC
 from repro.sim import MIB, Simulator
 
 N_WRITES = 24
@@ -52,7 +52,7 @@ def sdf_latencies():
     from repro.sim.stats import LatencyRecorder
 
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=4)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=4)
     sdf.prefill(1.0)
     recorder = LatencyRecorder("sdf.erase+write")
 

@@ -62,6 +62,7 @@ from repro.cluster.node import (
     StorageServer,
     build_conventional_server,
     build_sdf_server,
+    build_storage_server,
 )
 from repro.cluster.replication import (
     ReplicatedKV,
@@ -71,6 +72,7 @@ from repro.cluster.replication import (
 from repro.cluster.storage import (
     ConventionalNodeStorage,
     SDFNodeStorage,
+    ZonedNodeStorage,
 )
 
 __all__ = [
@@ -90,11 +92,13 @@ __all__ = [
     "SwimDetector",
     "SDFNodeStorage",
     "ConventionalNodeStorage",
+    "ZonedNodeStorage",
     "StorageServer",
     "SERVER_CONFIG",
     "NodeDownError",
     "build_sdf_server",
     "build_conventional_server",
+    "build_storage_server",
     "KVClient",
     "BatchSpec",
     "RequestAbandonedError",

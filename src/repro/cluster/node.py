@@ -17,7 +17,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cluster.network import Nic, TEN_GBE_MB_S
-from repro.cluster.storage import ConventionalNodeStorage, SDFNodeStorage
+from repro.cluster.storage import (
+    ConventionalNodeStorage,
+    SDFNodeStorage,
+    ZonedNodeStorage,
+)
 from repro.errors import ClusterError, TransientFault, WrongEpochError
 from repro.kv.common import PlaceholderValue
 from repro.kv.compaction import split_patch
@@ -725,6 +729,82 @@ def _tombstone():
     return TOMBSTONE
 
 
+def build_storage_server(
+    sim: Simulator,
+    slices: List[Slice],
+    device_kind: str = "sdf",
+    capacity_scale: float = 0.05,
+    n_channels: int = 44,
+    spec=None,
+    device_params: Optional[dict] = None,
+    **server_kwargs,
+):
+    """A storage server over any registered device kind.
+
+    The one-door cluster builder for the device zoo: ``device_kind``
+    selects the backend (see ``repro.devices.device_kinds()``), the
+    matching node-storage adapter is chosen automatically, and
+    ``device_params`` passes backend-specific knobs (``cmt_pages``,
+    ``log_blocks_per_channel``, ...) straight to ``build_device``.
+
+    SDF-backed servers expose the built system as ``server.system``;
+    every other kind exposes the device as ``server.device``.
+    """
+    from repro.devices.catalog import build_device
+
+    params = dict(device_params or {})
+    if device_kind == "sdf":
+        from repro.core.api import build_sdf_system
+
+        system = build_sdf_system(
+            capacity_scale=capacity_scale,
+            n_channels=n_channels,
+            sim=sim,
+            **params,
+        )
+        storage = SDFNodeStorage(system.block_layer)
+        server = StorageServer(sim, storage, slices, **server_kwargs)
+        server.system = system
+        return server
+    if device_kind == "zoned":
+        device = build_device(
+            "zoned",
+            sim,
+            capacity_scale=capacity_scale,
+            n_channels=n_channels,
+            **params,
+        )
+        storage = ZonedNodeStorage(device)
+    else:
+        # The conventional family (page-mapped, DFTL, hybrid, MQ) all
+        # speak the LPN extent interface.
+        from repro.devices.catalog import HUAWEI_GEN3_SPEC
+
+        base_spec = spec if spec is not None else HUAWEI_GEN3_SPEC
+        if n_channels != base_spec.n_channels:
+            from dataclasses import replace
+
+            base_spec = replace(
+                base_spec,
+                n_channels=n_channels,
+                parity_group_size=min(
+                    base_spec.parity_group_size, max(2, n_channels)
+                ),
+            )
+        device = build_device(
+            device_kind,
+            sim,
+            spec=base_spec,
+            capacity_scale=capacity_scale,
+            store_data=True,  # pages hold patch references for value reads
+            **params,
+        )
+        storage = ConventionalNodeStorage(device)
+    server = StorageServer(sim, storage, slices, **server_kwargs)
+    server.device = device
+    return server
+
+
 def build_sdf_server(
     sim: Simulator,
     slices: List[Slice],
@@ -733,15 +813,14 @@ def build_sdf_server(
     **server_kwargs,
 ):
     """A storage server over a freshly built SDF system."""
-    from repro.core.api import build_sdf_system
-
-    system = build_sdf_system(
-        capacity_scale=capacity_scale, n_channels=n_channels, sim=sim
+    return build_storage_server(
+        sim,
+        slices,
+        device_kind="sdf",
+        capacity_scale=capacity_scale,
+        n_channels=n_channels,
+        **server_kwargs,
     )
-    storage = SDFNodeStorage(system.block_layer)
-    server = StorageServer(sim, storage, slices, **server_kwargs)
-    server.system = system
-    return server
 
 
 def build_conventional_server(
@@ -752,15 +831,15 @@ def build_conventional_server(
     **server_kwargs,
 ):
     """A storage server over a commodity SSD baseline."""
-    from repro.devices.catalog import HUAWEI_GEN3_SPEC, build_conventional
+    from repro.devices.catalog import HUAWEI_GEN3_SPEC
 
-    device = build_conventional(
+    spec = spec if spec is not None else HUAWEI_GEN3_SPEC
+    return build_storage_server(
         sim,
-        spec if spec is not None else HUAWEI_GEN3_SPEC,
+        slices,
+        device_kind="conventional",
         capacity_scale=capacity_scale,
-        store_data=True,  # pages hold patch references for value reads
+        n_channels=spec.n_channels,
+        spec=spec,
+        **server_kwargs,
     )
-    storage = ConventionalNodeStorage(device)
-    server = StorageServer(sim, storage, slices, **server_kwargs)
-    server.device = device
-    return server

@@ -199,3 +199,103 @@ class ConventionalNodeStorage:
     def functional_free(self, handle) -> None:
         """Release a patch with no simulated time."""
         self._free_extents.append(handle)
+
+
+class ZonedNodeStorage:
+    """Patches on a :class:`~repro.devices.zoned.ZonedDevice`, one zone
+    per patch.
+
+    The 8 MB KV patch is exactly one zone, so the mapping is the
+    host-FTL identity the SDF argues for: ``store_patch`` fills a free
+    zone, ``free_patch`` returns it to the free list, and the required
+    ZNS reset is paid lazily by the *next* writer of that zone (the
+    moral equivalent of the SDF's pre-write erase discipline).
+    """
+
+    def __init__(self, device, patch_bytes: int = 8 << 20):
+        self.device = device
+        self.sim = device.sim
+        self.patch_bytes = patch_bytes
+        if patch_bytes > device.zone_bytes:
+            raise ValueError("patch exceeds the zone size")
+        self._free_zones = deque(range(device.n_zones))
+
+    @property
+    def patch_capacity_bytes(self) -> int:
+        """Largest patch this storage accepts."""
+        return min(self.patch_bytes, self.device.zone_bytes)
+
+    def _claim_zone(self) -> int:
+        if not self._free_zones:
+            raise RuntimeError("no free zones on the device")
+        return self._free_zones.popleft()
+
+    def store_patch(self, patch: Patch):
+        """Generator: persist one patch; returns its handle (a zone)."""
+        if patch.nbytes > self.patch_capacity_bytes:
+            raise ValueError("patch exceeds the zone size")
+        zone = self._claim_zone()
+        yield from self.device.reset_zone(zone)
+        pages = [patch] * self.device.pages_per_zone
+        yield from self.device.write_zone(zone, pages)
+        return zone
+
+    def store_patches(self, patches):
+        """Generator -> list of handles, persisting patches concurrently."""
+        patches = list(patches)
+        processes = [
+            self.sim.process(self.store_patch(patch)) for patch in patches
+        ]
+        if not processes:
+            return []
+        results = yield self.sim.all_of(processes)
+        return results
+
+    def read_value(self, lookup: Lookup, key):
+        """Generator: fetch one value with a single zone read."""
+        page = self.device.page_size
+        first_page = lookup.offset // page
+        last_page = (lookup.offset + max(lookup.size, 1) - 1) // page
+        payloads = yield from self.device.read_zone(
+            lookup.handle, first_page, last_page - first_page + 1
+        )
+        patch: Optional[Patch] = payloads[0]
+        if patch is None:
+            raise KeyError(f"zone {lookup.handle} holds no data")
+        found, value = patch.get(key)
+        if not found:
+            raise KeyError(f"{key!r} missing from stored patch")
+        return value
+
+    def read_patch(self, handle) -> Patch:
+        """Generator: fetch a whole patch (full-zone sequential read)."""
+        payloads = yield from self.device.read_zone(
+            handle, 0, self.device.pages_per_zone
+        )
+        return payloads[0]
+
+    def free_patch(self, handle):
+        """Return the zone for reuse (reset lazily before rewrite)."""
+        self._free_zones.append(handle)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    # -- functional (zero-time) preloading --------------------------------------
+    def functional_store(self, patch: Patch):
+        """Store a patch with no simulated time (preloading)."""
+        zone = self._claim_zone()
+        self.device.functional_reset_zone(zone)
+        pages = [patch] * self.device.pages_per_zone
+        self.device.functional_write_zone(zone, pages)
+        return zone
+
+    def functional_load(self, handle) -> Patch:
+        """Load a patch with no simulated time."""
+        data = self.device.functional_read_zone(handle)
+        if data is None:
+            raise KeyError(f"zone {handle} holds no data")
+        return data
+
+    def functional_free(self, handle) -> None:
+        """Release a patch with no simulated time."""
+        self._free_zones.append(handle)

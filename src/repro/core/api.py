@@ -21,11 +21,7 @@ from typing import Optional, Union
 
 from repro.core.block_layer import UserSpaceBlockLayer
 from repro.core.scheduler import ErasePolicy, PlacementPolicy
-from repro.devices.catalog import (
-    HUAWEI_GEN3_SPEC,
-    build_conventional,
-    build_sdf,
-)
+from repro.devices.catalog import HUAWEI_GEN3_SPEC, build_device
 from repro.devices.conventional import ConventionalSSD, ConventionalSSDSpec
 from repro.devices.sdf import SDFDevice
 from repro.sim import Simulator
@@ -138,7 +134,8 @@ def build_sdf_system(
     is also bound to it).
     """
     sim = sim if sim is not None else Simulator()
-    device = build_sdf(
+    device = build_device(
+        "sdf",
         sim,
         capacity_scale=capacity_scale,
         n_channels=n_channels,
@@ -167,6 +164,10 @@ def build_conventional_ssd(
 ) -> ConventionalSSD:
     """A commodity-SSD baseline (default: the Huawei Gen3)."""
     sim = sim if sim is not None else Simulator()
-    return build_conventional(
-        sim, spec, capacity_scale=capacity_scale, store_data=store_data
+    return build_device(
+        "conventional",
+        sim,
+        spec=spec,
+        capacity_scale=capacity_scale,
+        store_data=store_data,
     )

@@ -1,4 +1,4 @@
-"""Storage devices: the SDF and its conventional-SSD baselines.
+"""Storage devices: the SDF, its baselines, and the pluggable zoo.
 
 * :class:`~repro.devices.sdf.SDFDevice` -- the paper's device: 44
   channels exposed individually (`/dev/sda0..43`), 8 KB read unit, 8 MB
@@ -7,29 +7,60 @@
   architecture (Figure 5a): single controller, page-mapped FTL, 8 KB
   striping, over-provisioning, GC, DRAM write-back buffer, optional
   channel parity.
-* :mod:`~repro.devices.catalog` -- the concrete devices of Tables 1-3:
-  Baidu SDF, Huawei Gen3, Intel 320, and a Memblaze-Q520-class high-end
-  drive.
+* The zoo (DESIGN.md section 11): :class:`~repro.devices.dftl.DFTLDevice`
+  (bounded cached mapping table), :class:`~repro.devices.hybrid.HybridDevice`
+  (log-block FTL with merge costs), :class:`~repro.devices.mqftl.MQFTLDevice`
+  (queue-per-channel controller), :class:`~repro.devices.zoned.ZonedDevice`
+  (ZNS-style zones over the SDF hardware).
+* :mod:`~repro.devices.catalog` -- the concrete devices of Tables 1-3
+  plus the one-door factory: every backend registers under a string
+  ``kind`` and is built via :func:`~repro.devices.catalog.build_device`
+  or a declarative :class:`~repro.devices.catalog.DeviceSpec`.
+
+All backends satisfy the :class:`~repro.devices.base.DeviceModel`
+protocol and report the same ``device.{kind}.*`` metric family
+(:data:`~repro.devices.base.DEVICE_METRIC_KEYS`).
 """
 
-from repro.devices.base import DeviceStats
+from repro.devices.base import DEVICE_METRIC_KEYS, DeviceModel, DeviceStats
 from repro.devices.catalog import (
     HUAWEI_GEN3_SPEC,
     INTEL_320_SPEC,
     MEMBLAZE_Q520_SPEC,
+    DeviceSpec,
     build_conventional,
+    build_device,
     build_sdf,
+    device_kinds,
+    register_device,
     sdf_spec,
 )
 from repro.devices.conventional import ConventionalSSD, ConventionalSSDSpec
+from repro.devices.dftl import DFTLDevice, DFTLSpec
+from repro.devices.hybrid import HybridDevice, HybridSpec
+from repro.devices.mqftl import MQFTLDevice
 from repro.devices.sdf import SDFChannelDevice, SDFDevice
+from repro.devices.zoned import ZonedDevice, ZoneStateError
 
 __all__ = [
+    "DeviceModel",
     "DeviceStats",
+    "DEVICE_METRIC_KEYS",
     "SDFDevice",
     "SDFChannelDevice",
     "ConventionalSSD",
     "ConventionalSSDSpec",
+    "DFTLDevice",
+    "DFTLSpec",
+    "HybridDevice",
+    "HybridSpec",
+    "MQFTLDevice",
+    "ZonedDevice",
+    "ZoneStateError",
+    "DeviceSpec",
+    "build_device",
+    "device_kinds",
+    "register_device",
     "build_sdf",
     "build_conventional",
     "sdf_spec",

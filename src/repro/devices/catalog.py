@@ -1,20 +1,45 @@
-"""The concrete devices of the paper's Tables 1-4.
+"""The device zoo: concrete drives plus the spec-driven factory.
 
-Controller costs for the commodity baselines are calibrated against the
-paper's own measurements (Table 4's request-size sweep fits a
-per-request + per-page cost model almost exactly; see EXPERIMENTS.md).
-The SDF has no controller knobs -- its numbers emerge from the channel
-engines, the link, and the thin software stack alone.
+The paper's hardware (Tables 1-4) lives here as specs -- controller
+costs for the commodity baselines are calibrated against the paper's
+own measurements (Table 4's request-size sweep fits a per-request +
+per-page cost model almost exactly; see EXPERIMENTS.md).  The SDF has
+no controller knobs: its numbers emerge from the channel engines, the
+link, and the thin software stack alone.
+
+Every backend -- SDF, conventional page-mapped, DFTL, hybrid log-block,
+multi-queue, zoned -- registers under a string ``kind`` and is built
+through one door::
+
+    device = build_device("dftl", sim, capacity_scale=0.01, cmt_pages=8)
+
+or declaratively via :class:`DeviceSpec`, which pickles/compares
+cleanly for scenario configs::
+
+    spec = DeviceSpec("sdf", {"n_channels": 8})
+    device = spec.build(sim)
+
+The legacy ``build_sdf`` / ``build_conventional`` entry points survive
+as :class:`DeprecationWarning` shims over ``build_device`` so old
+call sites keep working while CI's ``-W error::DeprecationWarning``
+leg keeps new code off them.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.devices.conventional import ConventionalSSD, ConventionalSSDSpec
+from repro.devices.dftl import DFTLDevice, DFTLSpec
+from repro.devices.hybrid import HybridDevice, HybridSpec
+from repro.devices.mqftl import MQFTLDevice
 from repro.devices.sdf import SDFDevice
+from repro.devices.zoned import ZonedDevice
+from repro.errors import ConfigError
 from repro.interfaces.iostack import KERNEL_IO_STACK
 from repro.interfaces.link import PCIE_1_1_X8, SATA_2_0
 from repro.nand.catalog import (
@@ -98,7 +123,117 @@ def sdf_spec() -> dict:
     )
 
 
-def build_sdf(
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_device(kind: str) -> Callable[[Callable], Callable]:
+    """Decorator: register ``builder(sim, **spec)`` under ``kind``.
+
+    Third-party backends can hook into ``build_device`` the same way
+    the built-in zoo does; re-registering a kind raises.
+    """
+
+    def decorate(builder: Callable) -> Callable:
+        if kind in _REGISTRY:
+            raise ConfigError(f"device kind {kind!r} already registered")
+        _REGISTRY[kind] = builder
+        return builder
+
+    return decorate
+
+
+def device_kinds() -> Tuple[str, ...]:
+    """The registered device kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_device(kind: str, sim: Optional[Simulator] = None, **spec) -> Any:
+    """Build any registered device behind the one-door factory.
+
+    ``sim=None`` creates a fresh :class:`Simulator` (handy in tests);
+    unknown kinds raise :class:`~repro.errors.ConfigError` naming the
+    known ones.  Keyword arguments are backend-specific -- see each
+    builder's docstring and DESIGN.md section 11.
+    """
+    try:
+        builder = _REGISTRY[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown device kind {kind!r}; known kinds: "
+            f"{', '.join(device_kinds())}"
+        ) from None
+    if sim is None:
+        sim = Simulator()
+    return builder(sim, **spec)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A declarative, hashable (kind, params) recipe for a device.
+
+    Lets configs (scenarios, sweeps, ablation grids) carry a device
+    choice as data; ``build`` defers to :func:`build_device`.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in _REGISTRY:
+            raise ConfigError(
+                f"unknown device kind {self.kind!r}; known kinds: "
+                f"{', '.join(device_kinds())}"
+            )
+
+    def build(self, sim: Optional[Simulator] = None) -> Any:
+        """Instantiate the device this spec describes."""
+        return build_device(self.kind, sim, **dict(self.params))
+
+    def with_params(self, **updates) -> "DeviceSpec":
+        """A copy with ``updates`` merged over ``params``."""
+        merged = dict(self.params)
+        merged.update(updates)
+        return DeviceSpec(self.kind, merged)
+
+
+# ---------------------------------------------------------------------------
+# Built-in builders.
+# ---------------------------------------------------------------------------
+
+
+def _conventional_family_spec(
+    spec_cls,
+    spec: Optional[ConventionalSSDSpec],
+    capacity_scale: float,
+    extra: Dict[str, Any],
+):
+    """Derive a (possibly subclassed) spec for page/log-mapped builds.
+
+    Starts from ``spec`` (default: the Huawei Gen3 drive), widens it to
+    ``spec_cls`` when the backend needs extra knobs, then applies the
+    capacity scale.  Scaling happens *after* widening so subclass specs
+    survive ``dataclasses.replace``.
+    """
+    if spec is None:
+        spec = HUAWEI_GEN3_SPEC
+    if not isinstance(spec, spec_cls):
+        base_kwargs = {
+            f.name: getattr(spec, f.name) for f in fields(ConventionalSSDSpec)
+        }
+        spec = spec_cls(**base_kwargs, **extra)
+    elif extra:
+        spec = replace(spec, **extra)
+    if capacity_scale != 1.0:
+        spec = spec.scaled(capacity_scale)
+    return spec
+
+
+@register_device("sdf")
+def _build_sdf(
     sim: Simulator,
     capacity_scale: float = 1.0,
     n_channels: int = 44,
@@ -117,7 +252,8 @@ def build_sdf(
     return SDFDevice(sim, rng=rng, **kwargs)
 
 
-def build_conventional(
+@register_device("conventional")
+def _build_conventional(
     sim: Simulator,
     spec: ConventionalSSDSpec = HUAWEI_GEN3_SPEC,
     capacity_scale: float = 1.0,
@@ -128,3 +264,122 @@ def build_conventional(
     if capacity_scale != 1.0:
         spec = spec.scaled(capacity_scale)
     return ConventionalSSD(sim, spec, store_data=store_data, mode=mode)
+
+
+@register_device("dftl")
+def _build_dftl(
+    sim: Simulator,
+    spec: Optional[ConventionalSSDSpec] = None,
+    capacity_scale: float = 1.0,
+    store_data: bool = False,
+    mode: Optional[str] = None,
+    cmt_pages: Optional[int] = None,
+) -> DFTLDevice:
+    """A DFTL drive: page-mapped with a bounded cached mapping table.
+
+    ``cmt_pages=None`` keeps the spec's own bound (or the DFTLSpec
+    default of 64 when widening a plain conventional spec).
+    """
+    extra = {} if cmt_pages is None else {"cmt_pages": cmt_pages}
+    dspec = _conventional_family_spec(DFTLSpec, spec, capacity_scale, extra)
+    return DFTLDevice(sim, dspec, store_data=store_data, mode=mode)
+
+
+@register_device("hybrid")
+def _build_hybrid(
+    sim: Simulator,
+    spec: Optional[ConventionalSSDSpec] = None,
+    capacity_scale: float = 1.0,
+    store_data: bool = False,
+    mode: Optional[str] = None,
+    log_blocks_per_channel: Optional[int] = None,
+) -> HybridDevice:
+    """A hybrid log-block (BAST-style) drive with merge costs."""
+    extra = (
+        {}
+        if log_blocks_per_channel is None
+        else {"log_blocks_per_channel": log_blocks_per_channel}
+    )
+    hspec = _conventional_family_spec(HybridSpec, spec, capacity_scale, extra)
+    return HybridDevice(sim, hspec, store_data=store_data, mode=mode)
+
+
+@register_device("mqftl")
+def _build_mqftl(
+    sim: Simulator,
+    spec: Optional[ConventionalSSDSpec] = None,
+    capacity_scale: float = 1.0,
+    store_data: bool = False,
+    mode: Optional[str] = None,
+) -> MQFTLDevice:
+    """An LFTL-style multi-queue drive: queue-per-channel controller."""
+    mspec = _conventional_family_spec(
+        ConventionalSSDSpec, spec, capacity_scale, {}
+    )
+    return MQFTLDevice(sim, mspec, store_data=store_data, mode=mode)
+
+
+@register_device("zoned")
+def _build_zoned(
+    sim: Simulator,
+    capacity_scale: float = 1.0,
+    n_channels: int = 44,
+    rng: Optional[np.random.Generator] = None,
+    **overrides,
+) -> ZonedDevice:
+    """A ZNS-style zoned device over the SDF channel hardware."""
+    kwargs = sdf_spec()
+    kwargs["geometry"] = kwargs["geometry"].scaled(capacity_scale)
+    kwargs["n_channels"] = n_channels
+    kwargs.update(overrides)
+    return ZonedDevice(sim, rng=rng, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated entry points (kept as shims; CI's -W error leg bans new uses).
+# ---------------------------------------------------------------------------
+
+
+def build_sdf(
+    sim: Simulator,
+    capacity_scale: float = 1.0,
+    n_channels: int = 44,
+    rng: Optional[np.random.Generator] = None,
+    **overrides,
+) -> SDFDevice:
+    """Deprecated: use ``build_device("sdf", sim, ...)``."""
+    warnings.warn(
+        "build_sdf is deprecated; use build_device('sdf', sim, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_sdf(
+        sim,
+        capacity_scale=capacity_scale,
+        n_channels=n_channels,
+        rng=rng,
+        **overrides,
+    )
+
+
+def build_conventional(
+    sim: Simulator,
+    spec: ConventionalSSDSpec = HUAWEI_GEN3_SPEC,
+    capacity_scale: float = 1.0,
+    store_data: bool = False,
+    mode: Optional[str] = None,
+) -> ConventionalSSD:
+    """Deprecated: use ``build_device("conventional", sim, spec=...)``."""
+    warnings.warn(
+        "build_conventional is deprecated; "
+        "use build_device('conventional', sim, spec=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_conventional(
+        sim,
+        spec=spec,
+        capacity_scale=capacity_scale,
+        store_data=store_data,
+        mode=mode,
+    )

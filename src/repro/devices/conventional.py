@@ -15,17 +15,17 @@ overheads -- emerge from the flash engines and FTL underneath.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.channel.engine import build_engines
-from repro.devices.base import DeviceStats
+from repro.devices.base import DeviceStats, base_device_metrics, register_device_metrics
 from repro.ftl.ops import FlashOp
 from repro.ftl.page_ftl import PageFTL
 from repro.interfaces.iostack import IOStackModel, KERNEL_IO_STACK
 from repro.interfaces.link import HostLink, LinkSpec, PCIE_1_1_X8
 from repro.nand.array import FlashArray
 from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
-from repro.nand.geometry import FlashGeometry
+from repro.nand.geometry import FlashGeometry, scaled_count
 from repro.nand.timing import NandTiming
 from repro.sim import AllOf, Container, Resource, Simulator, Store
 from repro.sim.stats import ThroughputMeter
@@ -74,6 +74,9 @@ class ConventionalSSDSpec:
 class ConventionalSSD:
     """Timed conventional SSD built on :class:`~repro.ftl.page_ftl.PageFTL`."""
 
+    #: Registry kind; also the ``device.{kind}.*`` metric prefix.
+    kind = "conventional"
+
     def __init__(
         self,
         sim: Simulator,
@@ -89,13 +92,7 @@ class ConventionalSSD:
             geometry=spec.geometry,
             timing=spec.timing,
         )
-        self.ftl = PageFTL(
-            self.array,
-            op_ratio=spec.op_ratio,
-            stripe_pages=spec.stripe_pages,
-            parity_group_size=spec.parity_group_size,
-            store_data=store_data,
-        )
+        self.ftl = self._make_ftl(spec, store_data)
         self.engines = build_engines(
             sim,
             spec.n_channels,
@@ -113,6 +110,10 @@ class ConventionalSSD:
         self._open_reads = 0
         self._buffer: Optional[Container] = None
         self._flush_queue: Optional[Store] = None
+        #: lpn -> buffered payloads not yet programmed (newest last).
+        #: Reads must serve these: a write acks from DRAM, so the FTL
+        #: alone can be stale (or unmapped) until the flusher lands it.
+        self._pending_pages: Dict[int, List] = {}
         if spec.dram_buffer_bytes > 0:
             self._buffer = Container(sim, capacity=spec.dram_buffer_bytes)
             self._flush_queue = Store(sim)
@@ -123,6 +124,24 @@ class ConventionalSSD:
                 )
             for _ in range(workers):
                 sim.process(self._flusher())
+
+    def _make_ftl(self, spec: ConventionalSSDSpec, store_data: bool):
+        """FTL factory hook; zoo backends override to swap the design."""
+        return PageFTL(
+            self.array,
+            op_ratio=spec.op_ratio,
+            stripe_pages=spec.stripe_pages,
+            parity_group_size=spec.parity_group_size,
+            store_data=store_data,
+        )
+
+    def _request_controller(self, lpn: int) -> Resource:
+        """Controller serving request-level admission for ``lpn``."""
+        return self.controller
+
+    def _page_controller(self, lpn: int) -> Resource:
+        """Controller charging the per-page processing cost for ``lpn``."""
+        return self.controller
 
     # -- geometry ------------------------------------------------------------------
     @property
@@ -164,7 +183,7 @@ class ConventionalSSD:
         start = sim.now
         self._open_reads += 1
         yield sim.timeout(self.spec.iostack.submit_ns)
-        with self.controller.request() as hold:
+        with self._request_controller(lpn).request() as hold:
             yield hold
             yield sim.timeout(self.spec.controller_request_ns)
         payloads: List = [None] * n_pages
@@ -185,12 +204,18 @@ class ConventionalSSD:
             self.spec.congestion_max_factor,
             1.0 + excess / self.spec.congestion_knee_requests,
         )
-        with self.controller.request() as hold:
+        with self._page_controller(lpn).request() as hold:
             yield hold
             yield self.sim.timeout(
                 int(self.spec.controller_read_ns_per_page * congestion)
             )
         data, ops = self.ftl.read(lpn)
+        pending = self._pending_pages.get(lpn)
+        if pending:
+            # The freshest copy is still in the DRAM write buffer;
+            # timing is unchanged (the controller/flash work above is
+            # what the request costs), only the payload is corrected.
+            data = pending[-1]
         out[index] = data
         yield from self._execute_ops(ops)
         # Pages stream up to the host as they arrive (DMA overlaps flash).
@@ -209,7 +234,7 @@ class ConventionalSSD:
         start = sim.now
         yield sim.timeout(self.spec.iostack.submit_ns)
         nbytes = n_pages * self.page_size
-        with self.controller.request() as hold:
+        with self._request_controller(lpn).request() as hold:
             yield hold
             yield sim.timeout(self.spec.controller_request_ns)
         # Data streams over the wire page by page and lands in the DRAM
@@ -219,6 +244,7 @@ class ConventionalSSD:
             yield from self.link.transfer("write", self.page_size)
             if self._buffer is not None:
                 yield self._buffer.put(self.page_size)
+                self._pending_pages.setdefault(lpn + index, []).append(data)
                 yield self._flush_queue.put((lpn + index, data))
             else:
                 yield from self._write_one_page(lpn + index, data)
@@ -226,7 +252,7 @@ class ConventionalSSD:
         self.stats.note_write(sim.now, nbytes, sim.now - start)
 
     def _write_one_page(self, lpn: int, data):
-        with self.controller.request() as hold:
+        with self._page_controller(lpn).request() as hold:
             yield hold
             yield self.sim.timeout(self.spec.controller_write_ns_per_page)
         ops = self.ftl.write(lpn, data)
@@ -238,6 +264,13 @@ class ConventionalSSD:
         while True:
             lpn, data = yield self._flush_queue.get()
             yield from self._write_one_page(lpn, data)
+            # The FTL now maps this copy; drop the oldest buffered one
+            # (newer buffered writes of the lpn keep shadowing the FTL).
+            pending = self._pending_pages.get(lpn)
+            if pending:
+                pending.pop(0)
+                if not pending:
+                    del self._pending_pages[lpn]
             yield self._buffer.get(self.page_size)
 
     def _execute_ops(self, ops: List[FlashOp]):
@@ -265,12 +298,28 @@ class ConventionalSSD:
         while self._buffer.level > 0 or len(self._flush_queue) > 0:
             yield self.sim.timeout(1_000_000)
 
+    # -- observability --------------------------------------------------------------------
+    def device_metrics(self) -> dict:
+        """The uniform zoo metric snapshot (see ``repro.devices.base``)."""
+        ftl = self.ftl
+        return base_device_metrics(
+            write_amplification=ftl.write_amplification,
+            host_programs=ftl.user_programs,
+            gc_programs=ftl.gc_programs,
+            gc_runs=ftl.gc_runs,
+            erases=ftl.erases,
+        )
+
+    def attach_metrics(self, registry) -> None:
+        """Register ``device.{kind}.*`` pull metrics."""
+        register_device_metrics(registry, self)
+
     # -- functional helpers ---------------------------------------------------------------
     def prefill(self, fraction: float = 1.0, payload=None) -> int:
         """Functionally fill user space (no simulated time)."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction {fraction} outside [0, 1]")
-        n_lpns = int(self.user_pages * fraction)
+        n_lpns = scaled_count(self.user_pages * fraction)
         for lpn in range(n_lpns):
             self.ftl.write(lpn, payload)
         return n_lpns

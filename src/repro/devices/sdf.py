@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.channel.engine import ChannelEngine, build_engines
-from repro.devices.base import DeviceStats
+from repro.devices.base import DeviceStats, base_device_metrics, register_device_metrics
 from repro.ftl.block_ftl import ChannelBlockFTL
 from repro.ftl.ops import OpKind
 from repro.interfaces.interrupts import InterruptCoalescer
@@ -34,7 +34,7 @@ from repro.interfaces.iostack import IOStackModel, SDF_USER_SPACE_STACK
 from repro.interfaces.link import HostLink, LinkSpec, PCIE_1_1_X8
 from repro.nand.array import FlashArray
 from repro.nand.catalog import MICRON_25NM_MLC, SDF_CHIP_GEOMETRY
-from repro.nand.geometry import FlashGeometry
+from repro.nand.geometry import FlashGeometry, scaled_count
 from repro.nand.timing import NandTiming
 from repro.sim import AllOf, Container, Event, Simulator
 
@@ -254,6 +254,9 @@ class SDFChannelDevice:
 class SDFDevice:
     """The full 44-channel SDF board."""
 
+    #: Registry kind; also the ``device.{kind}.*`` metric prefix.
+    kind = "sdf"
+
     def __init__(
         self,
         sim: Simulator,
@@ -328,6 +331,29 @@ class SDFDevice:
         """user bytes / raw bytes."""
         return self.user_bytes / self.raw_bytes
 
+    @property
+    def page_size(self) -> int:
+        """Bytes in one flash page."""
+        return self.array.geometry.page_size
+
+    def drain(self):
+        """Generator: nothing to drain -- the SDF has no device-side
+        write buffer or background GC (writes complete at the flash)."""
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def device_metrics(self) -> dict:
+        """The uniform zoo metric snapshot: WA is exactly 1 by design
+        (no device GC, no parity, block-level SRAM mapping)."""
+        return base_device_metrics(
+            host_programs=sum(ftl.host_programs for ftl in self.ftls),
+            erases=sum(ftl.erase_count for ftl in self.ftls),
+        )
+
+    def attach_metrics(self, registry) -> None:
+        """Register ``device.{kind}.*`` pull metrics."""
+        register_device_metrics(registry, self)
+
     def prefill(self, fraction: float = 1.0, payload=None) -> int:
         """Functionally fill a fraction of every channel (no simulated
         time): used to start experiments on an 'almost full' device as
@@ -336,7 +362,7 @@ class SDFDevice:
             raise ValueError(f"fraction {fraction} outside [0, 1]")
         written = 0
         for ftl in self.ftls:
-            n_blocks = int(ftl.n_logical_blocks * fraction)
+            n_blocks = scaled_count(ftl.n_logical_blocks * fraction)
             pages = [payload] * ftl.pages_per_logical_block
             for block in range(n_blocks):
                 if not ftl.is_mapped(block):

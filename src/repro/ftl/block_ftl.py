@@ -25,6 +25,7 @@ from repro.ftl.mapping import BlockMapping
 from repro.ftl.ops import FlashOp, erase_op, program_op, read_op
 from repro.ftl.wear import FreeBlockPool
 from repro.nand.array import FlashArray, PhysicalAddress
+from repro.nand.geometry import scaled_count
 from repro.nand.chip import ProgramFailError
 from repro.ftl.page_ftl import OutOfSpaceError
 
@@ -71,7 +72,7 @@ class ChannelBlockFTL:
             min_usable = min(min_usable, len(good))
             self._pools.append(FreeBlockPool(good))
 
-        self.n_logical_blocks = int(min_usable * (1.0 - reserve_fraction))
+        self.n_logical_blocks = scaled_count(min_usable * (1.0 - reserve_fraction))
         if self.n_logical_blocks < 1:
             raise ValueError("no usable logical blocks on this channel")
         self.mapping = BlockMapping(self.n_logical_blocks)

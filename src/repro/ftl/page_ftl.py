@@ -22,6 +22,7 @@ from repro.ftl.mapping import PageMapping
 from repro.ftl.ops import FlashOp, erase_op, program_op, read_op
 from repro.ftl.wear import FreeBlockPool
 from repro.nand.array import FlashArray, PhysicalAddress
+from repro.nand.geometry import scaled_count
 
 
 class OutOfSpaceError(Exception):
@@ -71,7 +72,7 @@ class PageFTL:
             * geo.blocks_per_plane
             * geo.pages_per_block
         )
-        self.user_pages = int(data_pages * (1.0 - op_ratio))
+        self.user_pages = scaled_count(data_pages * (1.0 - op_ratio))
         if self.user_pages < 1:
             raise ValueError("configuration leaves no user capacity")
 

@@ -12,6 +12,20 @@ from dataclasses import dataclass
 from repro.sim.units import KIB
 
 
+def scaled_count(value: float) -> int:
+    """Floor a scaled count without float-truncation off-by-ones.
+
+    ``int(1000 * 0.007)`` is 6: the binary product lands a hair under
+    the exact decimal value and plain truncation drops a whole unit.
+    Counts within a relative 1e-9 of an integer round to it; genuinely
+    fractional products still floor.
+    """
+    nearest = round(value)
+    if abs(value - nearest) <= 1e-9 * max(1.0, abs(nearest)):
+        return int(nearest)
+    return int(value)
+
+
 @dataclass(frozen=True)
 class FlashGeometry:
     """Static shape of one NAND flash chip."""
@@ -63,7 +77,7 @@ class FlashGeometry:
         Used by tests and fast benchmarks to shrink capacity while keeping
         page/block sizes (and therefore all timing behaviour) identical.
         """
-        blocks = max(1, int(self.blocks_per_plane * factor))
+        blocks = max(1, scaled_count(self.blocks_per_plane * factor))
         return FlashGeometry(
             page_size=self.page_size,
             pages_per_block=self.pages_per_block,

@@ -47,15 +47,17 @@ class Observability:
 
 
 def attach_device(obs: Observability, device) -> None:
-    """Instrument an :class:`~repro.devices.sdf.SDFDevice`.
+    """Instrument any :class:`~repro.devices.base.DeviceModel`.
 
-    Channel engines get op-level spans and a live queue-depth timeline;
-    the registry gains per-channel utilisation/busy/wait pull metrics
-    and each FTL's host-op and wear metrics.
+    Channel engines (when the device exposes them) get op-level spans
+    and a live queue-depth timeline; the registry gains per-channel
+    utilisation/busy/wait pull metrics, each exposed FTL's host-op and
+    wear metrics, and the device's uniform ``device.{kind}.*`` family
+    via its ``attach_metrics`` hook.
     """
     device.sim.obs = obs
     registry = obs.metrics
-    for engine in device.engines:
+    for engine in getattr(device, "engines", ()):
         engine.obs = obs
         channel = engine.channel
         registry.register_callback(
@@ -72,8 +74,10 @@ def attach_device(obs: Observability, device) -> None:
         registry.register_callback(
             f"channel{channel}.ops", lambda now, e=engine: e.ops_executed.value
         )
-    for ftl in device.ftls:
+    for ftl in getattr(device, "ftls", ()):
         ftl.attach_metrics(registry)
+    if hasattr(device, "attach_metrics"):
+        device.attach_metrics(registry)
 
 
 def attach_block_layer(obs: Observability, layer) -> None:

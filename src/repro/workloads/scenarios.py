@@ -93,6 +93,10 @@ class Scenario:
     #: Per-node device scale-down (see benchmarks/_bench_common.py).
     capacity_scale: float = 0.01
     n_channels: int = 4
+    #: Storage backend per node -- any registered device kind
+    #: (``repro.devices.device_kinds()``): "sdf", "conventional",
+    #: "dftl", "hybrid", "mqftl", "zoned".
+    device_kind: str = "sdf"
 
     def __post_init__(self):
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -107,6 +111,13 @@ class Scenario:
             raise ValueError("key_span must cover at least one key per slice")
         if self.duration_ns < 1:
             raise ValueError("duration_ns must be >= 1")
+        from repro.devices.catalog import device_kinds
+
+        if self.device_kind not in device_kinds():
+            raise ConfigError(
+                f"unknown device kind {self.device_kind!r}; known kinds: "
+                f"{', '.join(device_kinds())}"
+            )
         for burst in self.faults:
             if burst.node >= self.n_nodes:
                 raise ValueError(
@@ -207,7 +218,7 @@ class ScenarioRunner:
     ):
         from repro.cluster.control import ClusterController
         from repro.cluster.network import Network
-        from repro.cluster.node import build_sdf_server
+        from repro.cluster.node import build_storage_server
         from repro.kv.slice import KeyRange
 
         self.scenario = scenario
@@ -262,9 +273,10 @@ class ScenarioRunner:
             if only_node is not None and index != only_node:
                 continue
             name = f"n{index}"
-            server = build_sdf_server(
+            server = build_storage_server(
                 self.sim,
                 [],
+                device_kind=scenario.device_kind,
                 capacity_scale=scenario.capacity_scale,
                 n_channels=scenario.n_channels,
             )

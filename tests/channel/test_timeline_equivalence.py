@@ -12,7 +12,7 @@ to the generator path rather than drift.
 import numpy as np
 import pytest
 
-from repro.devices import build_conventional, build_sdf
+from repro.devices import build_device
 from repro.faults import FaultPlan, attach_device_faults
 from repro.ftl.ops import FlashOp, OpKind
 from repro.nand.array import PhysicalAddress
@@ -58,7 +58,7 @@ def sdf_signature(sim, sdf):
 
 def run_sdf_reads(mode, seed, sequential):
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+    sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                     mode=mode)
     sdf.prefill(1.0)
     drive_sdf_reads(
@@ -87,7 +87,7 @@ def test_sdf_reads_byte_identical(seed, sequential):
 def test_sdf_writes_byte_identical(seed):
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         drive_sdf_writes(
             sim,
@@ -106,7 +106,7 @@ def test_sdf_mixed_ops_byte_identical():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=2, mode=mode)
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=2, mode=mode)
         sdf.prefill(0.5)
 
         def reader(dev):
@@ -138,7 +138,7 @@ def test_stall_faults_stay_fast_and_match(seed):
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         plan = FaultPlan(seed=seed)
         for channel in range(N_CHANNELS):
@@ -175,7 +175,7 @@ def test_full_fault_plan_forces_link_fallback_and_matches():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         plan = FaultPlan(seed=5)
         plan.add("link", "delay", rate=0.1, delay_ns=50_000)
@@ -204,7 +204,7 @@ def test_qos_plan_stays_fast_and_matches(max_inflight):
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         plan = QosPlan(channel=ChannelQosConfig(max_inflight_ops=max_inflight))
         attach_device_qos(plan, sdf)
@@ -252,7 +252,7 @@ def test_tracing_stays_fast_and_matches():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         obs = Observability(trace=True)
         attach_device(obs, sdf)
@@ -344,7 +344,7 @@ def test_quiet_link_fault_plan_stays_fast():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         plan = FaultPlan(seed=11)
         plan.add("nand", "read_uncorrectable", rate=1e-9)
@@ -372,7 +372,7 @@ def test_qos_tracing_and_faults_combined_match():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         obs = Observability(trace=True)
         attach_device(obs, sdf)
@@ -413,7 +413,7 @@ def test_metrics_only_observability_matches():
 
     def run(mode):
         sim = Simulator()
-        sdf = build_sdf(sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
+        sdf = build_device("sdf", sim, capacity_scale=SCALE, n_channels=N_CHANNELS,
                         mode=mode)
         obs = Observability()
         attach_device(obs, sdf)
@@ -461,7 +461,7 @@ def conventional_signature(sim, device):
 def test_conventional_reads_byte_identical(seed):
     def run(mode):
         sim = Simulator()
-        device = build_conventional(sim, capacity_scale=0.01, mode=mode)
+        device = build_device("conventional", sim, capacity_scale=0.01, mode=mode)
         device.prefill(0.2)
         drive_conventional_reads(
             sim,
@@ -479,7 +479,7 @@ def test_conventional_reads_byte_identical(seed):
 def test_conventional_writes_byte_identical():
     def run(mode):
         sim = Simulator()
-        device = build_conventional(sim, capacity_scale=0.01, mode=mode)
+        device = build_device("conventional", sim, capacity_scale=0.01, mode=mode)
         drive_conventional_writes(
             sim,
             device,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import ConventionalNodeStorage, SDFNodeStorage
 from repro.core.api import build_sdf_system
-from repro.devices import HUAWEI_GEN3_SPEC, build_conventional
+from repro.devices import build_device, HUAWEI_GEN3_SPEC
 from repro.kv import Patch, PlaceholderValue
 from repro.kv.lsm import Lookup
 from repro.sim import Simulator
@@ -17,8 +17,7 @@ def sdf_storage():
 
 def conventional_storage():
     sim = Simulator()
-    device = build_conventional(
-        sim, HUAWEI_GEN3_SPEC, capacity_scale=0.008, store_data=True
+    device = build_device("conventional", sim, spec=HUAWEI_GEN3_SPEC, capacity_scale=0.008, store_data=True
     )
     return ConventionalNodeStorage(device), sim
 

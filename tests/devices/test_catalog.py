@@ -7,10 +7,10 @@ from repro.analysis.bandwidth import (
     raw_write_bandwidth_mb_s,
 )
 from repro.devices import (
+    build_device,
     HUAWEI_GEN3_SPEC,
     INTEL_320_SPEC,
     MEMBLAZE_Q520_SPEC,
-    build_sdf,
 )
 from repro.devices.catalog import sdf_spec
 from repro.sim import Simulator
@@ -35,7 +35,7 @@ def test_sdf_matches_table3():
 
 
 def test_full_scale_sdf_capacity_and_channels():
-    sdf = build_sdf(Simulator(), capacity_scale=1.0)
+    sdf = build_device("sdf", Simulator(), capacity_scale=1.0)
     assert sdf.raw_bytes == 704 * GIB
     assert sdf.n_channels == 44
     assert sdf.capacity_utilization == pytest.approx(0.99, abs=0.002)

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.devices import (
+    build_device,
     ConventionalSSD,
     HUAWEI_GEN3_SPEC,
     INTEL_320_SPEC,
-    build_conventional,
 )
 from repro.sim import MS, Simulator, US
 from repro.sim.units import mb_per_s
@@ -15,7 +15,7 @@ SCALE = 0.004  # 8 blocks per plane: tiny device, same timing behaviour
 
 
 def gen3(sim, **kwargs):
-    return build_conventional(sim, HUAWEI_GEN3_SPEC, capacity_scale=SCALE, **kwargs)
+    return build_device("conventional", sim, spec=HUAWEI_GEN3_SPEC, capacity_scale=SCALE, **kwargs)
 
 
 def test_spec_scaling_touches_only_capacity():
@@ -168,7 +168,7 @@ def test_sequential_read_throughput_near_1_2_gb_per_s():
 
 def test_intel_320_read_stream_is_sata_class():
     sim = Simulator()
-    device = build_conventional(sim, INTEL_320_SPEC, capacity_scale=0.01)
+    device = build_device("conventional", sim, spec=INTEL_320_SPEC, capacity_scale=0.01)
     device.prefill(0.3)
 
     def reader():

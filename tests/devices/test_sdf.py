@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.devices import build_sdf
+from repro.devices import build_device
 from repro.ftl import EraseBeforeWriteError
 from repro.sim import MS, Simulator, US
 from repro.sim.units import mb_per_s
@@ -10,7 +10,7 @@ from repro.sim.units import mb_per_s
 
 def small_sdf(sim, n_channels=4, capacity_scale=0.004):
     # 0.004 * 2048 = 8 blocks per plane: tiny but fully functional.
-    return build_sdf(sim, capacity_scale=capacity_scale, n_channels=n_channels)
+    return build_device("sdf", sim, capacity_scale=capacity_scale, n_channels=n_channels)
 
 
 def test_channel_devices_are_exposed_individually():
@@ -23,7 +23,7 @@ def test_channel_devices_are_exposed_individually():
 
 def test_capacity_is_99_percent_of_raw():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.05, n_channels=44)
+    sdf = build_device("sdf", sim, capacity_scale=0.05, n_channels=44)
     assert sdf.capacity_utilization == pytest.approx(0.99, abs=0.011)
 
 
@@ -93,7 +93,7 @@ def test_single_8k_read_latency_is_about_290_us():
 def test_8mb_erase_plus_write_latency_is_about_380_ms():
     """Figure 8: SDF erase+write of one 8 MB block ~ 383 ms."""
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=1)
     channel = sdf.channels[0]
 
     def scenario():
@@ -146,7 +146,7 @@ def test_per_channel_write_bandwidth_near_raw():
     """One channel's sustained 8 MB writes land near the 23 MB/s raw
     plane-limited bandwidth (94% of raw across the device = Table 4)."""
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=1)
     channel = sdf.channels[0]
     n_blocks = 4
 

@@ -16,6 +16,8 @@ Locked schema:
 * ``policy.{rule}.{evals,fired,suppressed_*}``
 * ``cluster.membership.*`` / ``cluster.election.*`` -- the replicated
   control plane's failure-detector and leadership metrics
+* ``device.{kind}.*`` -- the uniform device-zoo metric family every
+  backend reports (the ablation tooling diffs kinds by these names)
 """
 
 import pytest
@@ -139,6 +141,37 @@ def test_policy_outcome_metric_names_are_stable():
     assert "policy.tighten.evals" in names
     assert "policy.tighten.fired" in names
     assert "policy.tighten.suppressed_hysteresis" in names
+
+
+def test_device_zoo_metric_names_are_stable():
+    """Every registered backend publishes exactly the same metric-key
+    family under its own ``device.{kind}.`` prefix -- ablation reports
+    and policies diff kinds by these names."""
+    from repro.devices import DEVICE_METRIC_KEYS, build_device, device_kinds
+    from repro.obs.attach import attach_device
+
+    assert DEVICE_METRIC_KEYS == (
+        "write_amplification",
+        "host_programs",
+        "gc_programs",
+        "gc_runs",
+        "merges",
+        "erases",
+        "map_cache_hits",
+        "map_cache_misses",
+        "map_cache_hit_rate",
+    )
+    for kind in device_kinds():
+        sim = Simulator()
+        obs = Observability()
+        params = {"capacity_scale": 0.01}
+        if kind in ("sdf", "zoned"):
+            params["n_channels"] = 2
+        device = build_device(kind, sim, **params)
+        attach_device(obs, device)
+        names = set(obs.metrics.names())
+        for key in DEVICE_METRIC_KEYS:
+            assert f"device.{kind}.{key}" in names, (kind, key)
 
 
 def test_membership_and_election_metric_names_are_stable():

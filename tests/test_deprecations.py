@@ -50,3 +50,38 @@ def test_unified_surface_is_warning_free():
         system = small_system(obs=obs, faults=FaultPlan(seed=5), qos=QosPlan())
         system.attach(Observability())
         system.put(b"d" * 512)
+
+
+def test_build_sdf_warns_but_still_builds():
+    from repro.devices import build_sdf
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    with pytest.warns(DeprecationWarning, match="build_device"):
+        device = build_sdf(sim, capacity_scale=0.004, n_channels=2)
+    assert device.n_channels == 2
+    assert device.kind == "sdf"
+
+
+def test_build_conventional_warns_but_still_builds():
+    from repro.devices import INTEL_320_SPEC, build_conventional
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    with pytest.warns(DeprecationWarning, match="build_device"):
+        device = build_conventional(
+            sim, INTEL_320_SPEC, capacity_scale=0.01
+        )
+    assert device.kind == "conventional"
+    assert device.spec.name == "intel-320"
+
+
+def test_build_device_surface_is_warning_free():
+    from repro.devices import DeviceSpec, build_device, device_kinds
+    from repro.sim import Simulator
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for kind in device_kinds():
+            build_device(kind, Simulator(), capacity_scale=0.01)
+        DeviceSpec("sdf", {"capacity_scale": 0.01}).build(Simulator())

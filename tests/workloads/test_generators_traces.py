@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.devices import HUAWEI_GEN3_SPEC, build_conventional, build_sdf
+from repro.devices import build_device, HUAWEI_GEN3_SPEC
 from repro.sim import MS, Simulator
 from repro.workloads import (
     Trace,
@@ -17,7 +17,7 @@ from repro.workloads import (
 
 def test_sdf_read_driver_reports_per_channel_bandwidth():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=2)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=2)
     sdf.prefill(1.0)
     mb_s = drive_sdf_reads(
         sim, sdf, request_bytes=8192, duration_ns=100 * MS,
@@ -29,21 +29,21 @@ def test_sdf_read_driver_reports_per_channel_bandwidth():
 
 def test_sdf_read_driver_requires_prefill():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=1)
     with pytest.raises(RuntimeError, match="prefill"):
         drive_sdf_reads(sim, sdf, 8192, duration_ns=10 * MS)
 
 
 def test_sdf_write_driver_cycles_blocks():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=1)
     mb_s = drive_sdf_writes(sim, sdf, duration_ns=800 * MS)
     assert mb_s == pytest.approx(22.0, rel=0.15)  # erase+write ~ 22 MB/s
 
 
 def test_conventional_read_driver():
     sim = Simulator()
-    device = build_conventional(sim, HUAWEI_GEN3_SPEC, capacity_scale=0.004)
+    device = build_device("conventional", sim, spec=HUAWEI_GEN3_SPEC, capacity_scale=0.004)
     device.prefill(0.5)
     mb_s = drive_conventional_reads(
         sim, device, request_bytes=64 * 1024, duration_ns=50 * MS,
@@ -75,7 +75,7 @@ def test_trace_scaling():
 
 def test_replay_open_loop_issues_at_timestamps():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=2)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=2)
     sdf.prefill(1.0)
     trace = Trace(
         [
@@ -91,7 +91,7 @@ def test_replay_open_loop_issues_at_timestamps():
 
 def test_replay_closed_loop_serializes_per_channel():
     sim = Simulator()
-    sdf = build_sdf(sim, capacity_scale=0.004, n_channels=1)
+    sdf = build_device("sdf", sim, capacity_scale=0.004, n_channels=1)
     sdf.prefill(1.0)
     trace = Trace(
         [
